@@ -1,0 +1,38 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.
+The session-scoped :class:`ExperimentRunner` caches simulations, so
+e.g. Figures 10-13 share their baseline/PRA runs.
+
+Run length defaults to a laptop-friendly size; set ``REPRO_EVENTS``
+(memory instructions per core) to scale fidelity up, e.g.::
+
+    REPRO_EVENTS=20000 pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.mixes import ALL_WORKLOADS, Workload
+from repro.workloads.profiles import BENCHMARKS, profile
+
+#: Default memory instructions per core for benchmark runs.
+BENCH_EVENTS = int(os.environ.get("REPRO_EVENTS", "5000"))
+
+#: The paper's 14 multiprogrammed workloads, in presentation order.
+WORKLOAD_ORDER = list(BENCHMARKS) + [f"MIX{i}" for i in range(1, 7)]
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(events_per_core=BENCH_EVENTS, base_config=SystemConfig())
+
+
+def single_core(name: str) -> Workload:
+    """Single instance of a benchmark (Table 1 / Figs 2-3 methodology)."""
+    return Workload(name=f"{name}-1core", apps=(profile(name),))
+
+

@@ -1,0 +1,72 @@
+"""Ablation: which of PRA's ingredients buys what (DESIGN.md ablations).
+
+Decomposes PRA's total saving into its mechanisms on a write-heavy
+workload (GUPS) and a locality-heavy one (libquantum):
+
+* partial activation only (no write-I/O scaling),
+* write-I/O scaling only at full activation granularity? (not a real
+  design - I/O scaling requires the mask, so the nearest ablation is
+  PRA without the relaxed tRRD/tFAW timing),
+* full PRA.
+
+Also quantifies the ECC (x72) configuration of Section 4.2.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.schemes import BASELINE, PRA
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads.mixes import workload
+from conftest import BENCH_EVENTS
+
+PRA_NO_IO = dataclasses.replace(PRA, name="PRA-noIO", scale_write_io=False)
+PRA_NO_RELAX = dataclasses.replace(PRA, name="PRA-noRelax", relax_act_constraints=False)
+VARIANTS = (PRA_NO_IO, PRA_NO_RELAX, PRA)
+WORKLOADS = ("GUPS", "libquantum")
+
+
+def test_ablation_pra_features(benchmark):
+    def run_all():
+        rows = {}
+        for name in WORKLOADS:
+            wl = workload(name)
+            base = simulate(SystemConfig(scheme=BASELINE), wl, BENCH_EVENTS)
+            per = {}
+            for scheme in VARIANTS:
+                r = simulate(SystemConfig(scheme=scheme), wl, BENCH_EVENTS)
+                per[scheme.name] = {
+                    "power": r.avg_power_mw / base.avg_power_mw,
+                    "runtime": r.runtime_cycles / base.runtime_cycles,
+                }
+            # ECC variant of full PRA.
+            base_ecc = simulate(SystemConfig(scheme=BASELINE, ecc_chips=1), wl, BENCH_EVENTS)
+            pra_ecc = simulate(SystemConfig(scheme=PRA, ecc_chips=1), wl, BENCH_EVENTS)
+            per["PRA+ECC"] = {
+                "power": pra_ecc.avg_power_mw / base_ecc.avg_power_mw,
+                "runtime": pra_ecc.runtime_cycles / base_ecc.runtime_cycles,
+            }
+            rows[name] = per
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print("=== Ablation: PRA mechanisms (normalized to baseline) ===")
+    variants = [s.name for s in VARIANTS] + ["PRA+ECC"]
+    print(f"{'workload':<12}{'metric':<9}" + "".join(f"{v:>13}" for v in variants))
+    for name, per in rows.items():
+        for metric in ("power", "runtime"):
+            print(f"{name:<12}{metric:<9}" + "".join(
+                f"{per[v][metric]:>13.3f}" for v in variants))
+
+    for name, per in rows.items():
+        # Write-I/O scaling contributes real savings on top of the
+        # partial activation alone.
+        assert per["PRA"]["power"] < per["PRA-noIO"]["power"], name
+        # Removing the tRRD/tFAW relaxation must not change power much.
+        assert abs(per["PRA-noRelax"]["power"] - per["PRA"]["power"]) < 0.06, name
+        # ECC shrinks the saving but PRA still wins.
+        assert per["PRA"]["power"] < per["PRA+ECC"]["power"] < 1.0, name

@@ -1,0 +1,36 @@
+"""Figure 9: row-activation energy vs. number of MATs activated.
+
+Regenerates the energy-proportionality curve and its key property:
+halving the MATs does *not* halve the energy, because the row
+activation bus and predecoder are shared across the sub-array.
+"""
+
+import pytest
+
+from repro.power.energy_model import MATS_PER_SUBARRAY, ActivationEnergyModel
+
+
+def build_curve():
+    model = ActivationEnergyModel()
+    return {m: model.energy_pj(m) for m in range(1, MATS_PER_SUBARRAY + 1)}
+
+
+def test_fig09_energy_scaling(benchmark):
+    curve = benchmark.pedantic(build_curve, rounds=1, iterations=1)
+    model = ActivationEnergyModel()
+    full = curve[MATS_PER_SUBARRAY]
+
+    print()
+    print("=== Figure 9: activation energy vs #MATs ===")
+    for mats in range(2, MATS_PER_SUBARRAY + 1, 2):
+        frac = curve[mats] / full
+        print(f"  {mats:>2} MATs {curve[mats]:>9.1f} pJ {frac:>7.1%} " + "#" * int(40 * frac))
+
+    # Monotone increasing, linear increments.
+    for m in range(1, MATS_PER_SUBARRAY):
+        assert curve[m + 1] - curve[m] == pytest.approx(model.per_mat_pj)
+    # The headline property: 8 MATs cost more than 50% of 16 MATs.
+    assert curve[8] / full > 0.5
+    assert curve[8] / full == pytest.approx(0.531, abs=0.01)
+    # And a 2-MAT (1/8-row) activation is dramatically cheaper.
+    assert curve[2] / full < 0.2

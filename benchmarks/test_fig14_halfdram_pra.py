@@ -1,0 +1,62 @@
+"""Figure 14: PRA combined with Half-DRAM (restricted close-page).
+
+The combined scheme stacks PRA's masked write activation on top of
+Half-DRAM's vertically split MATs: writes open g/16 of a row, reads
+half a row.  The paper reports synergy on every metric versus either
+scheme alone, evaluated under the restricted close-page policy (with
+line-interleaved mapping), where relaxed tRRD/tFAW matter most.
+"""
+
+import pytest
+
+from repro.controller.policies import RowPolicy
+from repro.core.schemes import HALF_DRAM, HALF_DRAM_PRA, PRA
+from conftest import WORKLOAD_ORDER
+from repro.sim.runner import arithmetic_mean
+
+POLICY = RowPolicy.RESTRICTED_CLOSE
+SCHEMES = (HALF_DRAM, PRA, HALF_DRAM_PRA)
+
+
+def test_fig14_halfdram_pra(benchmark, runner):
+    def run_all():
+        means = {}
+        for scheme in SCHEMES:
+            power, perf, energy, edp = [], [], [], []
+            for name in WORKLOAD_ORDER:
+                power.append(runner.normalized_power(name, scheme, POLICY))
+                perf.append(runner.normalized_performance(name, scheme, POLICY))
+                energy.append(runner.normalized_energy(name, scheme, POLICY))
+                edp.append(runner.normalized_edp(name, scheme, POLICY))
+            means[scheme.name] = {
+                "power": arithmetic_mean(power),
+                "perf": arithmetic_mean(perf),
+                "energy": arithmetic_mean(energy),
+                "edp": arithmetic_mean(edp),
+            }
+        return means
+
+    means = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print("=== Figure 14: Half-DRAM + PRA (restricted close-page, mean of 14) ===")
+    print(f"{'scheme':<16}{'power':>8}{'perf':>8}{'energy':>8}{'EDP':>8}")
+    for name, m in means.items():
+        print(f"{name:<16}{m['power']:>8.3f}{m['perf']:>8.3f}{m['energy']:>8.3f}{m['edp']:>8.3f}")
+
+    combo = means["Half-DRAM+PRA"]
+    half = means["Half-DRAM"]
+    pra = means["PRA"]
+
+    # Synergy: the combined scheme saves more power/energy than either.
+    assert combo["power"] < half["power"]
+    assert combo["power"] < pra["power"]
+    assert combo["energy"] < half["energy"]
+    assert combo["energy"] < pra["energy"]
+    assert combo["edp"] < pra["edp"]
+    # Nobody loses significant performance under restricted close-page.
+    for m in means.values():
+        assert m["perf"] > 0.93
+    # All schemes save power versus the restricted baseline.
+    for m in means.values():
+        assert m["power"] < 1.0

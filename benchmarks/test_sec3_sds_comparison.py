@@ -1,0 +1,47 @@
+"""Section 3 claim: PRA vs Skinflint DRAM System (SDS) coverage.
+
+"Our scheme reduces average row activation granularity by 42% whereas
+SDS can reduce average chip access granularity by only 16%."
+
+The comparator replays each benchmark's Figure-3 dirty-word
+distribution through both schemes' skip rules: PRA masks one MAT group
+per dirty word; SDS can skip a chip only when its byte position is
+clean in *every* word of the line.
+"""
+
+import pytest
+
+from repro.core.sds import SDSComparator, masks_from_distribution
+from repro.workloads.profiles import BENCHMARKS
+
+LINES_PER_BENCH = 4000
+
+
+def test_sec3_sds_comparison(benchmark):
+    def run_all():
+        rows = {}
+        for name, prof in BENCHMARKS.items():
+            stream = masks_from_distribution(
+                prof.dirty_word_dist, LINES_PER_BENCH, seed=11
+            )
+            rows[name] = SDSComparator(seed=13).compare(stream)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print("=== Section 3: PRA vs SDS access-granularity reduction ===")
+    print(f"{'bench':<12}{'PRA reduce':>12}{'SDS reduce':>12}")
+    for name, result in rows.items():
+        print(f"{name:<12}{result.pra_reduction:>12.1%}{result.sds_reduction:>12.1%}")
+    avg_pra = sum(r.pra_reduction for r in rows.values()) / len(rows)
+    avg_sds = sum(r.sds_reduction for r in rows.values()) / len(rows)
+    print(f"{'average':<12}{avg_pra:>12.1%}{avg_sds:>12.1%}   (paper: 42% vs 16%)")
+
+    # The paper's qualitative claim: PRA covers far more than SDS.
+    assert avg_pra > 2 * avg_sds
+    assert 0.4 < avg_pra < 0.95
+    assert avg_sds < 0.4
+    # SDS never skips anything the data doesn't allow.
+    for result in rows.values():
+        assert 0.0 <= result.sds_reduction <= result.pra_reduction + 0.2

@@ -1,0 +1,68 @@
+"""Sensitivity: PRA's benefit vs DRAM row size (Section 2.2.1 outlook).
+
+"This power inefficiency of row activation will increase in future
+DRAMs, which will have larger capacities and more bitlines."  The
+sweep scales the chip's row (4 KB / 8 KB / 16 KB rank-level rows) with
+activation power proportional to the bitlines opened, and measures
+PRA's total-power saving at each point.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.schemes import BASELINE, PRA
+from repro.dram.geometry import ChipGeometry, SystemGeometry
+from repro.power.params import DDR3_1600_POWER
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads.mixes import workload
+from conftest import BENCH_EVENTS
+
+#: Columns-per-chip for 4 KB, 8 KB (baseline) and 16 KB rank rows.
+ROW_SWEEP = {4096: 512, 8192: 1024, 16384: 2048}
+
+
+def _config(scheme, columns, row_bytes):
+    # Activation power scales with the bitlines opened per activation.
+    scale = row_bytes / 8192
+    power = DDR3_1600_POWER.scaled(
+        tuple(
+            DDR3_1600_POWER.act_power(g) * scale / DDR3_1600_POWER.act_power(8)
+            for g in range(1, 9)
+        )
+    )
+    # Keep chip capacity constant: halve/double rows as columns change.
+    rows = 32768 * 1024 // columns
+    geometry = SystemGeometry(chip=ChipGeometry(rows=rows, columns=columns))
+    return SystemConfig(scheme=scheme, geometry=geometry, power=power)
+
+
+def test_sensitivity_row_size(benchmark):
+    def run_sweep():
+        wl = workload("GUPS")
+        savings = {}
+        for row_bytes, columns in ROW_SWEEP.items():
+            base = simulate(_config(BASELINE, columns, row_bytes), wl, BENCH_EVENTS)
+            pra = simulate(_config(PRA, columns, row_bytes), wl, BENCH_EVENTS)
+            savings[row_bytes] = {
+                "saving": 1 - pra.avg_power_mw / base.avg_power_mw,
+                "act_share": base.power.fraction("act_pre"),
+            }
+        return savings
+
+    savings = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print()
+    print("=== Sensitivity: PRA total-power saving vs row size (GUPS) ===")
+    print(f"{'rank row':<12}{'ACT share':>12}{'PRA saving':>12}")
+    for row_bytes, data in sorted(savings.items()):
+        print(f"{row_bytes // 1024:>6} KB{'':<4}{data['act_share']:>12.1%}"
+              f"{data['saving']:>12.1%}")
+
+    ordered = [savings[k] for k in sorted(savings)]
+    # Larger rows burn a larger activation share...
+    assert ordered[0]["act_share"] < ordered[1]["act_share"] < ordered[2]["act_share"]
+    # ...so PRA's saving grows with row size (the paper's outlook).
+    assert ordered[0]["saving"] < ordered[2]["saving"]
+    assert all(d["saving"] > 0.05 for d in ordered)

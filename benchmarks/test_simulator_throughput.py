@@ -1,0 +1,38 @@
+"""Meta-benchmark: simulation throughput of the platform itself.
+
+Not a paper figure — this is the classic pytest-benchmark use, tracking
+how many DRAM commands and memory requests per second the pure-Python
+simulator sustains, so performance regressions in the hot scheduling
+paths show up in CI.
+"""
+
+import pytest
+
+from repro.core.schemes import PRA
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.system import System
+from repro.workloads.mixes import workload
+
+EVENTS = 1500
+
+
+def one_run():
+    config = SystemConfig(scheme=PRA, cache=CacheConfig(llc_bytes=512 * 1024))
+    system = System(config, workload("MIX2"), EVENTS, warmup_events_per_core=6000)
+    result = system.run()
+    return result.controller.total_served, result.runtime_cycles
+
+
+def test_simulator_throughput(benchmark):
+    served, cycles = benchmark.pedantic(one_run, rounds=3, iterations=1)
+    seconds = benchmark.stats["mean"]
+    print()
+    print("=== Simulator throughput (PRA, MIX2, 4 cores) ===")
+    print(f"  requests served      {served}")
+    print(f"  simulated cycles     {cycles}")
+    print(f"  wall time            {seconds:.2f} s per run")
+    print(f"  requests / second    {served / seconds:,.0f}")
+    print(f"  sim cycles / second  {cycles / seconds:,.0f}")
+    assert served > 0
+    # Loose floor so CI catches order-of-magnitude regressions only.
+    assert served / seconds > 300

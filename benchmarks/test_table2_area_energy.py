@@ -1,0 +1,70 @@
+"""Table 2: die area and row-activation energy breakdown (analytic).
+
+Regenerates both halves of Table 2 from the CACTI-3DD-style model and
+checks them against the published values.
+"""
+
+import pytest
+
+from repro.power.energy_model import ActivationEnergyModel, DieAreaModel
+
+PAPER_AREA = {
+    "dram_cell_mm2": 4.677,
+    "sense_amp_mm2": 1.909,
+    "row_predecoder_mm2": 0.067,
+    "local_wordline_driver_mm2": 1.617,
+}
+PAPER_TOTAL_AREA = 11.884
+PAPER_PER_MAT = {
+    "local_bitline": 15.583,
+    "local_sense_amp": 1.257,
+    "local_wordline": 0.046,
+    "row_decoder": 0.035,
+}
+PAPER_PER_BANK = {"row_act_bus": 17.944, "row_predecoder": 0.072}
+PAPER_TOTAL_PJ = 288.752
+
+
+def build_table2():
+    model = ActivationEnergyModel()
+    area = DieAreaModel()
+    return {
+        "area": {k: getattr(area, k) for k in PAPER_AREA},
+        "total_area": area.total_mm2,
+        "per_mat": {
+            "local_bitline": model.local_bitline_pj,
+            "local_sense_amp": model.local_sense_amp_pj,
+            "local_wordline": model.local_wordline_pj,
+            "row_decoder": model.row_decoder_pj,
+        },
+        "per_bank": {
+            "row_act_bus": model.row_act_bus_pj,
+            "row_predecoder": model.row_predecoder_pj,
+        },
+        "total_pj": model.full_row_pj,
+    }
+
+
+def test_table2_area_energy(benchmark):
+    table = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+
+    print()
+    print("=== Table 2: DRAM die area (mm^2) ===")
+    for key, value in table["area"].items():
+        print(f"  {key:<28}{value:>8.3f}  (paper: {PAPER_AREA[key]})")
+    print(f"  {'total':<28}{table['total_area']:>8.3f}  (paper: {PAPER_TOTAL_AREA})")
+    print("=== Table 2: activation energy (pJ) ===")
+    for key, value in table["per_mat"].items():
+        print(f"  {key:<28}{value:>8.3f}  (paper: {PAPER_PER_MAT[key]})")
+    for key, value in table["per_bank"].items():
+        print(f"  {key:<28}{value:>8.3f}  (paper: {PAPER_PER_BANK[key]})")
+    print(f"  {'total per bank':<28}{table['total_pj']:>8.3f}  (paper: {PAPER_TOTAL_PJ})")
+
+    for key, value in table["area"].items():
+        assert value == pytest.approx(PAPER_AREA[key], abs=1e-3)
+    assert table["total_area"] == pytest.approx(PAPER_TOTAL_AREA, abs=1e-3)
+    for key, value in table["per_mat"].items():
+        assert value == pytest.approx(PAPER_PER_MAT[key], abs=1e-3)
+    for key, value in table["per_bank"].items():
+        assert value == pytest.approx(PAPER_PER_BANK[key], abs=1e-3)
+    assert table["total_pj"] == pytest.approx(PAPER_TOTAL_PJ, abs=1e-3)

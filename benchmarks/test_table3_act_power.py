@@ -1,0 +1,41 @@
+"""Table 3 (power rows): per-granularity ACT power from Eq. 1-2.
+
+Regenerates the ACT full..1/8-row power parameters by projecting the
+Figure 9 energy-scaling factors onto the Eq. 1-2 activation power, and
+checks the remaining Table 3 power parameters.
+"""
+
+import pytest
+
+from repro.power.energy_model import ActivationEnergyModel
+from repro.power.idd import pure_activation_power_mw
+from repro.power.params import DDR3_1600_POWER, TABLE3_ACT_MW, IDDValues
+
+
+def build_act_row():
+    full = pure_activation_power_mw(IDDValues())
+    model = ActivationEnergyModel()
+    return {g: full * model.scaling_factor(2 * g) for g in range(1, 9)}
+
+
+def test_table3_act_power(benchmark):
+    projected = benchmark.pedantic(build_act_row, rounds=1, iterations=1)
+
+    print()
+    print("=== Table 3: ACT power by granularity (mW) ===")
+    print(f"  {'granularity':<12}{'projected':>10}{'paper':>8}")
+    for g in range(8, 0, -1):
+        print(f"  {g}/8 row{'':<5}{projected[g]:>10.2f}{TABLE3_ACT_MW[g]:>8.1f}")
+
+    # Eq. 1-2 reproduce the full-row value; scaled values within 0.5 mW.
+    assert projected[8] == pytest.approx(22.2, abs=0.1)
+    for g in range(1, 9):
+        assert projected[g] == pytest.approx(TABLE3_ACT_MW[g], abs=0.5)
+
+    # Static power rows of Table 3.
+    p = DDR3_1600_POWER
+    print("  static rows: PRE_STBY %.0f  PRE_PDN %.0f  REF %.0f  ACT_STBY %.0f" % (
+        p.pre_stby_mw, p.pre_pdn_mw, p.ref_mw, p.act_stby_mw))
+    print("               RD %.0f  WR %.0f  RD I/O %.1f  WR ODT %.1f  TERM %.1f/%.1f" % (
+        p.rd_mw, p.wr_mw, p.rd_io_mw, p.wr_odt_mw, p.rd_term_mw, p.wr_term_mw))
+    assert (p.pre_stby_mw, p.pre_pdn_mw, p.ref_mw, p.act_stby_mw) == (27, 18, 210, 42)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Explore the analytic DRAM power models (Tables 2-3, Figure 9).
+
+No simulation here: this walks the CACTI-3DD-style activation-energy
+model and the IDD-based power equations, printing the paper's numbers
+next to the model's.
+
+Usage::
+
+    python examples/power_model_explorer.py
+"""
+
+from repro.power import (
+    ActivationEnergyModel,
+    DieAreaModel,
+    FGDOverheadModel,
+    IDDValues,
+    TABLE3_ACT_MW,
+    pure_activation_power_mw,
+)
+
+
+def table2() -> None:
+    model = ActivationEnergyModel()
+    area = DieAreaModel()
+    print("=== Table 2: 2Gb x8 DDR3-1600 chip at 20 nm ===")
+    print(f"{'die area (mm^2)':<28}{area.total_mm2:>10.3f}   (paper: 11.884)")
+    print(f"{'energy per MAT (pJ)':<28}{model.per_mat_pj:>10.3f}   (paper: 16.921)")
+    print(f"{'shared per bank (pJ)':<28}{model.shared_pj:>10.3f}   (paper: 18.016)")
+    print(f"{'full-row activation (pJ)':<28}{model.full_row_pj:>10.3f}   (paper: 288.752)")
+    print()
+    print("activation energy breakdown:")
+    for component, pj in model.breakdown().items():
+        print(f"  {component:<22}{pj:>10.3f} pJ")
+
+
+def figure9() -> None:
+    model = ActivationEnergyModel()
+    print()
+    print("=== Figure 9: activation energy vs MATs activated ===")
+    for mats in (2, 4, 6, 8, 10, 12, 14, 16):
+        factor = model.scaling_factor(mats)
+        bar = "#" * int(50 * factor)
+        print(f"  {mats:>2} MATs  {model.energy_pj(mats):8.1f} pJ  {factor:6.1%}  {bar}")
+    print("  note: 8 MATs (half row) costs "
+          f"{model.scaling_factor(8):.1%} of full - shared structures keep it above 50%.")
+
+
+def table3() -> None:
+    print()
+    print("=== Table 3 ACT row from Eq. 1-2 + Figure 9 scaling ===")
+    idd = IDDValues()
+    full = pure_activation_power_mw(idd)
+    print(f"Eq. 1-2 with IDD0={idd.idd0} mA -> P_ACT(full) = {full:.1f} mW "
+          f"(paper: 22.2)")
+    model = ActivationEnergyModel()
+    print(f"{'granularity':<14}{'projected (mW)':>16}{'paper (mW)':>12}")
+    for g in range(8, 0, -1):
+        projected = full * model.scaling_factor(2 * g)
+        print(f"{g}/8 row{'':<7}{projected:>16.2f}{TABLE3_ACT_MW[g]:>12.1f}")
+
+
+def overheads() -> None:
+    print()
+    print("=== Section 4.2 hardware overheads ===")
+    area = DieAreaModel()
+    fgd = FGDOverheadModel()
+    print(f"PRA latches:        {area.pra_latch_overhead():.3%} of die area")
+    print(f"wordline AND gates: {area.wordline_gate_overhead():.1%} of die area")
+    print(f"FGD in 32kB L1:     {fgd.l1_area:.2%} area, {fgd.l1_leakage:.2%} leakage")
+    print(f"FGD in 4MB L2:      {fgd.l2_area:.2%} area, {fgd.l2_leakage:.2%} leakage")
+    print(f"FGD storage:        {fgd.extra_bits_per_line()} extra bits per 64B line "
+          f"({fgd.storage_overhead_fraction():.2%} of line storage)")
+
+
+if __name__ == "__main__":
+    table2()
+    figure9()
+    table3()
+    overheads()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Plot (in ASCII) DRAM power over time, baseline vs PRA.
+
+Attaches an epoch sampler to two runs of the same workload and renders
+per-epoch total power and the write-I/O component, showing write-drain
+bursts and PRA flattening them.
+
+Usage::
+
+    python examples/power_over_time.py [workload] [events_per_core]
+"""
+
+import sys
+
+from repro import BASELINE, PRA, SystemConfig, System
+from repro.sim.sampling import EpochSampler
+from repro.workloads import workload
+
+
+def run_with_sampler(scheme, wl, events):
+    sampler = EpochSampler(epoch_cycles=2000)
+    config = SystemConfig(scheme=scheme)
+    system = System(config, wl, events, sampler=sampler)
+    system.run()
+    return sampler.series(tck_ns=config.timing.tck_ns)
+
+
+def render(series, label, value, scale):
+    print(f"--- {label} ---")
+    for epoch in series:
+        v = value(epoch)
+        bar = "#" * int(v / scale)
+        print(f"  cyc {epoch.start_cycle:>8}  {v:8.0f} mW  {bar}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lbm"
+    events = int(sys.argv[2]) if len(sys.argv) > 2 else 3000
+    wl = workload(name)
+
+    print(f"Sampling {name} with 2000-cycle epochs...")
+    base = run_with_sampler(BASELINE, wl, events)
+    pra = run_with_sampler(PRA, wl, events)
+
+    # Common scale for comparability.
+    peak = max(e.total_power_mw for e in base + pra)
+    scale = max(peak / 50, 1.0)
+
+    print()
+    render(base[:20], "baseline: total DRAM power", lambda e: e.total_power_mw, scale)
+    print()
+    render(pra[:20], "PRA: total DRAM power", lambda e: e.total_power_mw, scale)
+
+    avg = lambda s, f: sum(f(e) for e in s) / len(s)
+    print()
+    print(f"{'':<26}{'baseline':>10}{'PRA':>10}")
+    print(f"{'avg total power (mW)':<26}"
+          f"{avg(base, lambda e: e.total_power_mw):>10.0f}"
+          f"{avg(pra, lambda e: e.total_power_mw):>10.0f}")
+    print(f"{'avg write-I/O power (mW)':<26}"
+          f"{avg(base, lambda e: e.power_mw['wr_io']):>10.0f}"
+          f"{avg(pra, lambda e: e.power_mw['wr_io']):>10.0f}")
+    print(f"{'avg ACT-PRE power (mW)':<26}"
+          f"{avg(base, lambda e: e.power_mw['act_pre']):>10.0f}"
+          f"{avg(pra, lambda e: e.power_mw['act_pre']):>10.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare Baseline / FGA / Half-DRAM / PRA on one workload (Fig. 12-13).
+
+Usage::
+
+    python examples/scheme_comparison.py [workload] [events_per_core]
+
+``workload`` is any of the paper's 14: the eight benchmark names
+(4 identical copies each) or MIX1..MIX6.
+"""
+
+import sys
+
+from repro import BASELINE, FGA, HALF_DRAM, PRA, ExperimentRunner
+from repro.workloads import ALL_WORKLOADS
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "MIX1"
+    events = int(sys.argv[2]) if len(sys.argv) > 2 else 4000
+    if name not in ALL_WORKLOADS:
+        raise SystemExit(f"unknown workload {name!r}; pick one of {sorted(ALL_WORKLOADS)}")
+
+    runner = ExperimentRunner(events_per_core=events)
+    print(f"Workload {name}, {events} memory instructions per core")
+    print(f"(apps: {', '.join(ALL_WORKLOADS[name].app_names)})")
+    print()
+
+    base = runner.run(name, BASELINE)
+    header = (
+        f"{'scheme':<11}{'ACT power':>10}{'I/O power':>10}{'total pwr':>10}"
+        f"{'energy':>8}{'EDP':>8}{'perf':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for scheme in (BASELINE, FGA, HALF_DRAM, PRA):
+        r = runner.run(name, scheme)
+        act = r.power.power_mw("act_pre") / base.power.power_mw("act_pre")
+        io_now = r.power.power_mw("rd_io") + r.power.power_mw("wr_io")
+        io_base = base.power.power_mw("rd_io") + base.power.power_mw("wr_io")
+        total = r.avg_power_mw / base.avg_power_mw
+        energy = r.total_energy_mj / base.total_energy_mj
+        edp = r.edp / base.edp
+        perf = runner.normalized_performance(name, scheme)
+        print(
+            f"{scheme.name:<11}{act:>10.3f}{io_now / io_base:>10.3f}{total:>10.3f}"
+            f"{energy:>8.3f}{edp:>8.3f}{perf:>8.3f}"
+        )
+
+    pra = runner.run(name, PRA)
+    print()
+    print("PRA details:")
+    print(f"  mean activation granularity: {pra.mean_activation_granularity():.2f} of a row")
+    print(f"  false row-buffer hits: reads {pra.controller.reads.false_hit_rate:.3%}, "
+          f"writes {pra.controller.writes.false_hit_rate:.3%}")
+    print(f"  row-buffer hit rate: {base.controller.total_hit_rate:.1%} -> "
+          f"{pra.controller.total_hit_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Cache hierarchy substrate: FGD lines, set-associative caches, DBI."""
+
+from repro.cache.dbi import DirtyBlockIndex
+from repro.cache.hierarchy import CacheHierarchy, MemoryTraffic
+from repro.cache.line import CacheLine, word_mask_for_store
+from repro.cache.set_assoc import CacheStats, Eviction, SetAssociativeCache
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheStats",
+    "DirtyBlockIndex",
+    "Eviction",
+    "MemoryTraffic",
+    "SetAssociativeCache",
+    "word_mask_for_store",
+]

@@ -1,0 +1,77 @@
+"""Dirty-Block Index (DBI) for DRAM-aware writeback (Section 5.2.3).
+
+The DBI separates dirty-bit tracking from the cache tag store and
+organizes it by DRAM row: when any dirty line of a row is written back,
+the other dirty lines of the same row are proactively written back too
+(and left resident-clean in the cache), so the writes can share one row
+activation.  The paper combines this with PRA to study the interaction:
+DBI raises the write row-hit rate but also raises PRA's false-hit
+pressure (the proactive burst arrives with heterogeneous masks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Set, Tuple
+
+RowOf = Callable[[int], Hashable]
+
+
+class DirtyBlockIndex:
+    """Row-organized registry of dirty line addresses.
+
+    ``row_of`` maps a cache-line address to its DRAM-row identity (the
+    address-mapper's ``row_key``).  ``max_writebacks`` bounds how many
+    companion lines one trigger may drain (the paper drains the whole
+    row; a bound keeps pathological rows from flooding the write queue).
+    """
+
+    def __init__(self, row_of: RowOf, max_writebacks: int = 16) -> None:
+        if max_writebacks < 1:
+            raise ValueError("max_writebacks must be >= 1")
+        self.row_of = row_of
+        self.max_writebacks = max_writebacks
+        self._rows: Dict[Hashable, Set[int]] = {}
+        self.proactive_writebacks = 0
+        self.triggers = 0
+
+    def __len__(self) -> int:
+        return sum(len(lines) for lines in self._rows.values())
+
+    def mark_dirty(self, line_addr: int) -> None:
+        key = self.row_of(line_addr)
+        self._rows.setdefault(key, set()).add(line_addr)
+
+    def mark_clean(self, line_addr: int) -> None:
+        """Drop a line from the dirty registry (no-op if absent)."""
+        key = self.row_of(line_addr)
+        lines = self._rows.get(key)
+        if lines is None:
+            return
+        lines.discard(line_addr)
+        if not lines:
+            del self._rows[key]
+
+    def is_dirty(self, line_addr: int) -> bool:
+        lines = self._rows.get(self.row_of(line_addr))
+        return bool(lines) and line_addr in lines
+
+    def dirty_lines_in_row(self, line_addr: int) -> List[int]:
+        """Dirty companions of ``line_addr`` in its DRAM row (sorted)."""
+        lines = self._rows.get(self.row_of(line_addr), set())
+        return sorted(addr for addr in lines if addr != line_addr)
+
+    def on_writeback(self, line_addr: int) -> List[int]:
+        """A dirty line is being written back: pick companions to drain.
+
+        Returns the companion line addresses (up to ``max_writebacks``)
+        and removes them and the trigger line from the index.  The
+        caller is responsible for cleaning them in the cache and
+        enqueueing the DRAM writes.
+        """
+        self.triggers += 1
+        companions = self.dirty_lines_in_row(line_addr)[: self.max_writebacks]
+        self.mark_clean(line_addr)
+        for addr in companions:
+            self.mark_clean(addr)
+        self.proactive_writebacks += len(companions)
+        return companions

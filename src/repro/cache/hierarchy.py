@@ -1,0 +1,148 @@
+"""Two-level cache hierarchy with FGD propagation (Figure 8).
+
+Store instructions set word-granularity dirty bits in the L1 data
+cache; when a dirty L1 line is evicted its dirty bits are OR-ed into
+the corresponding L2 line; when a dirty L2 line is evicted the merged
+dirty bits travel with the writeback to the memory controller, where
+they become the PRA mask.
+
+Two operating modes:
+
+* **full** — per-core L1 data caches in front of a shared L2, the
+  configuration of Table 3;
+* **LLC-only** — traces are interpreted as post-L1 accesses and go
+  straight to the shared L2.  The big experiments use this mode (the
+  workload profiles are calibrated at LLC level); the full mode is
+  exercised by unit/integration tests and examples.
+
+The hierarchy is non-inclusive non-exclusive (NINE): L2 victims are not
+back-invalidated from L1s, which is sufficient for memory-traffic
+modelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cache.dbi import DirtyBlockIndex
+from repro.cache.set_assoc import CacheStats, Eviction, SetAssociativeCache
+
+
+@dataclass
+class MemoryTraffic:
+    """DRAM-side traffic produced by one CPU access."""
+
+    #: Line addresses that must be read (fills), in issue order.
+    fills: List[int] = field(default_factory=list)
+    #: (line address, FGD dirty mask) writebacks.
+    writebacks: List[Tuple[int, int]] = field(default_factory=list)
+    #: Whether the demand access hit in the LLC (or L1).
+    demand_hit: bool = True
+
+
+class CacheHierarchy:
+    """L1 data caches (optional) in front of a shared L2 LLC."""
+
+    def __init__(
+        self,
+        l2: SetAssociativeCache,
+        l1s: Optional[List[SetAssociativeCache]] = None,
+        dbi: Optional[DirtyBlockIndex] = None,
+    ) -> None:
+        self.l2 = l2
+        self.l1s = l1s
+        self.dbi = dbi
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        core_id: int,
+        line_addr: int,
+        write_mask: int = 0,
+        fill_on_miss: bool = True,
+    ) -> MemoryTraffic:
+        """Perform a load (``write_mask == 0``) or store.
+
+        ``fill_on_miss=False`` models non-temporal streaming stores
+        that allocate the line without fetching it from DRAM.
+        """
+        if self.l1s is None:
+            return self._access_l2(line_addr, write_mask, fill_on_miss)
+        return self._access_l1(core_id, line_addr, write_mask, fill_on_miss)
+
+    # ------------------------------------------------------------------
+    def _access_l1(
+        self, core_id: int, line_addr: int, write_mask: int, fill_on_miss: bool
+    ) -> MemoryTraffic:
+        traffic = MemoryTraffic()
+        l1 = self.l1s[core_id]
+        hit, victim = l1.access(line_addr, write_mask)
+        if victim is not None and victim.dirty:
+            # L1 victim: OR dirty bits into the L2 copy (Fig. 8).
+            l2_victim = self.l2.install(victim.line_addr, victim.dirty_mask)
+            self._note_dirty(victim.line_addr)
+            if l2_victim is not None:
+                self._handle_l2_victim(l2_victim, traffic)
+        if not hit:
+            l2_hit, l2_victim = self.l2.access(line_addr)
+            if l2_victim is not None:
+                self._handle_l2_victim(l2_victim, traffic)
+            if not l2_hit and fill_on_miss:
+                traffic.fills.append(line_addr)
+            traffic.demand_hit = False
+        return traffic
+
+    def _access_l2(
+        self, line_addr: int, write_mask: int, fill_on_miss: bool
+    ) -> MemoryTraffic:
+        traffic = MemoryTraffic()
+        hit, victim = self.l2.access(line_addr, write_mask)
+        if write_mask:
+            self._note_dirty(line_addr)
+        if victim is not None:
+            self._handle_l2_victim(victim, traffic)
+        if not hit:
+            if fill_on_miss:
+                traffic.fills.append(line_addr)
+            traffic.demand_hit = False
+        return traffic
+
+    # ------------------------------------------------------------------
+    def _note_dirty(self, line_addr: int) -> None:
+        if self.dbi is not None:
+            self.dbi.mark_dirty(line_addr)
+
+    def _handle_l2_victim(self, victim: Eviction, traffic: MemoryTraffic) -> None:
+        if not victim.dirty:
+            if self.dbi is not None:
+                self.dbi.mark_clean(victim.line_addr)
+            return
+        traffic.writebacks.append((victim.line_addr, victim.dirty_mask))
+        if self.dbi is None:
+            return
+        # DRAM-aware writeback: drain dirty companions of the same row.
+        for companion in self.dbi.on_writeback(victim.line_addr):
+            mask = self.l2.clean_line(companion)
+            if mask:
+                traffic.writebacks.append((companion, mask))
+
+    # ------------------------------------------------------------------
+    def flush_dirty(self) -> List[Tuple[int, int]]:
+        """Drain every dirty LLC line (end-of-run writeback traffic)."""
+        drained: List[Tuple[int, int]] = []
+        for cache_set in self.l2._sets:
+            for line in cache_set.values():
+                if line.dirty:
+                    drained.append((line.line_addr, line.clean()))
+                    if self.dbi is not None:
+                        self.dbi.mark_clean(line.line_addr)
+        return drained
+
+    @property
+    def llc_stats(self) -> CacheStats:
+        return self.l2.stats
+
+    def dirty_word_fractions(self) -> dict:
+        """Figure 3: distribution of dirty words in evicted LLC lines."""
+        return self.l2.stats.dirty_word_fractions()

@@ -1,0 +1,71 @@
+"""Cache lines with fine-grained dirty bits (FGD, Section 4.1.4).
+
+The 64 B data field of a line is logically divided into eight 8 B word
+segments; each has its own dirty bit.  The whole-line dirty state is
+the OR of the word dirty bits, so FGD adds 7 bits per line on top of
+the conventional single dirty bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import FULL_MASK, WORDS_PER_LINE
+
+
+@dataclass
+class CacheLine:
+    """One cache line: tag state plus the FGD word-dirty mask."""
+
+    line_addr: int
+    dirty_mask: int = 0
+    #: Monotonic LRU stamp maintained by the owning cache.
+    lru_stamp: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dirty_mask <= FULL_MASK:
+            raise ValueError(f"dirty mask out of range: {self.dirty_mask:#x}")
+
+    @property
+    def dirty(self) -> bool:
+        return self.dirty_mask != 0
+
+    @property
+    def dirty_words(self) -> int:
+        """Number of dirty 8 B words (1..8 when dirty, 0 when clean)."""
+        return bin(self.dirty_mask).count("1")
+
+    def mark_written(self, word_mask: int) -> None:
+        """Record a store touching the words in ``word_mask``."""
+        if not 0 < word_mask <= FULL_MASK:
+            raise ValueError(f"store word mask out of range: {word_mask:#x}")
+        self.dirty_mask |= word_mask
+
+    def absorb(self, other_mask: int) -> None:
+        """OR-merge dirty bits from an evicted upper-level line."""
+        if not 0 <= other_mask <= FULL_MASK:
+            raise ValueError(f"mask out of range: {other_mask:#x}")
+        self.dirty_mask |= other_mask
+
+    def clean(self) -> int:
+        """Clear all dirty bits (after writeback); returns the old mask."""
+        mask, self.dirty_mask = self.dirty_mask, 0
+        return mask
+
+
+def word_mask_for_store(offset_bytes: int, size_bytes: int) -> int:
+    """Dirty-word mask for a store of ``size_bytes`` at ``offset_bytes``.
+
+    Convenience for trace generators: computes which of the eight 8 B
+    word segments a store touches.
+    """
+    if size_bytes <= 0:
+        raise ValueError("store size must be positive")
+    if offset_bytes < 0 or offset_bytes + size_bytes > WORDS_PER_LINE * 8:
+        raise ValueError("store does not fit in a 64 B line")
+    first = offset_bytes // 8
+    last = (offset_bytes + size_bytes - 1) // 8
+    mask = 0
+    for word in range(first, last + 1):
+        mask |= 1 << word
+    return mask

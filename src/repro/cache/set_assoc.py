@@ -1,0 +1,152 @@
+"""Set-associative write-back, write-allocate cache with LRU replacement.
+
+Addresses are cache-line indices (byte address // 64); data is not
+stored, only tag state and FGD dirty masks, which is all the memory
+system needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.line import CacheLine
+from repro.dram.geometry import LINE_BYTES
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    #: Histogram of dirty-word counts of dirty evicted lines (Fig. 3).
+    dirty_word_hist: Dict[int, int] = field(
+        default_factory=lambda: {n: 0 for n in range(1, 9)}
+    )
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def dirty_word_fractions(self) -> Dict[int, float]:
+        """Normalized dirty-word histogram of evicted lines (Fig. 3)."""
+        total = sum(self.dirty_word_hist.values())
+        if not total:
+            return {n: 0.0 for n in range(1, 9)}
+        return {n: c / total for n, c in self.dirty_word_hist.items()}
+
+
+@dataclass
+class Eviction:
+    """A victim pushed out of (or cleaned in) a cache level."""
+
+    line_addr: int
+    dirty_mask: int
+
+    @property
+    def dirty(self) -> bool:
+        return self.dirty_mask != 0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line addresses."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ways: int,
+        line_bytes: int = LINE_BYTES,
+        name: str = "cache",
+    ) -> None:
+        if capacity_bytes % (ways * line_bytes):
+            raise ValueError("capacity must be a multiple of ways * line size")
+        self.name = name
+        self.ways = ways
+        self.num_sets = capacity_bytes // (ways * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._stamp = itertools.count()
+        self.stats = CacheStats()
+
+    def _set_and_tag(self, line_addr: int) -> Tuple[Dict[int, CacheLine], int]:
+        return self._sets[line_addr % self.num_sets], line_addr // self.num_sets
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """Probe without updating LRU or stats."""
+        cache_set, tag = self._set_and_tag(line_addr)
+        return cache_set.get(tag)
+
+    def access(
+        self, line_addr: int, write_mask: int = 0
+    ) -> Tuple[bool, Optional[Eviction]]:
+        """Reference a line; allocate on miss; return (hit, eviction).
+
+        ``write_mask`` non-zero marks the access as a store touching
+        those words.  The eviction (if any) carries the victim's FGD
+        mask; clean victims are returned too so callers can maintain
+        inclusive/exclusive metadata (e.g. the DBI).
+        """
+        cache_set, tag = self._set_and_tag(line_addr)
+        line = cache_set.get(tag)
+        hit = line is not None
+        victim: Optional[Eviction] = None
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            if len(cache_set) >= self.ways:
+                victim = self._evict(cache_set)
+            line = CacheLine(line_addr=line_addr)
+            cache_set[tag] = line
+        line.lru_stamp = next(self._stamp)
+        if write_mask:
+            line.mark_written(write_mask)
+        return (hit, victim)
+
+    def _evict(self, cache_set: Dict[int, CacheLine]) -> Eviction:
+        victim_tag = min(cache_set, key=lambda t: cache_set[t].lru_stamp)
+        victim = cache_set.pop(victim_tag)
+        self.stats.evictions += 1
+        if victim.dirty:
+            self.stats.dirty_evictions += 1
+            self.stats.dirty_word_hist[victim.dirty_words] += 1
+        return Eviction(line_addr=victim.line_addr, dirty_mask=victim.dirty_mask)
+
+    def install(self, line_addr: int, dirty_mask: int = 0) -> Optional[Eviction]:
+        """Insert a line (e.g. absorbed from an upper level)."""
+        cache_set, tag = self._set_and_tag(line_addr)
+        line = cache_set.get(tag)
+        if line is not None:
+            line.absorb(dirty_mask)
+            line.lru_stamp = next(self._stamp)
+            return None
+        victim = self._evict(cache_set) if len(cache_set) >= self.ways else None
+        new_line = CacheLine(line_addr=line_addr, dirty_mask=dirty_mask)
+        new_line.lru_stamp = next(self._stamp)
+        cache_set[tag] = new_line
+        return victim
+
+    def clean_line(self, line_addr: int) -> int:
+        """Clear a resident line's dirty bits; returns the old mask."""
+        line = self.lookup(line_addr)
+        if line is None:
+            return 0
+        return line.clean()
+
+    def invalidate(self, line_addr: int) -> Optional[Eviction]:
+        """Drop a line; returns it (with dirty state) if present."""
+        cache_set, tag = self._set_and_tag(line_addr)
+        line = cache_set.pop(tag, None)
+        if line is None:
+            return None
+        return Eviction(line_addr=line.line_addr, dirty_mask=line.dirty_mask)
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show available workloads, schemes and row policies.
+``run``
+    Simulate one (workload, scheme, policy) and print the summary.
+``compare``
+    Run several schemes on one workload and print normalized results.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --workload GUPS --scheme PRA --events 4000
+    python -m repro compare --workload MIX1 --schemes Baseline FGA Half-DRAM PRA
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.controller.policies import RowPolicy
+from repro.core.schemes import ALL_SCHEMES, BASELINE, by_name
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.mixes import ALL_WORKLOADS
+
+_POLICIES = {
+    "relaxed": RowPolicy.RELAXED_CLOSE,
+    "restricted": RowPolicy.RESTRICTED_CLOSE,
+    "open": RowPolicy.OPEN_PAGE,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Partial Row Activation (HPCA 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schemes and policies")
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="MIX1", help="one of the 14 workloads")
+        p.add_argument("--events", type=int, default=4000,
+                       help="memory instructions per core")
+        p.add_argument("--policy", choices=sorted(_POLICIES), default="relaxed")
+        p.add_argument("--seed", type=int, default=1)
+
+    run_p = sub.add_parser("run", help="simulate one configuration")
+    add_common(run_p)
+    run_p.add_argument("--scheme", default="PRA", help="scheme name (see list)")
+
+    cmp_p = sub.add_parser("compare", help="compare schemes on one workload")
+    add_common(cmp_p)
+    cmp_p.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["Baseline", "FGA", "Half-DRAM", "PRA"],
+        help="scheme names to compare (baseline added automatically)",
+    )
+
+    sweep_p = sub.add_parser("sweep", help="run a grid and export CSV/JSON")
+    sweep_p.add_argument("--workloads", nargs="+", default=["GUPS", "MIX1"])
+    sweep_p.add_argument("--schemes", nargs="+", default=["Baseline", "PRA"])
+    sweep_p.add_argument("--policies", nargs="+", choices=sorted(_POLICIES),
+                         default=["relaxed"])
+    sweep_p.add_argument("--events", type=int, default=4000)
+    sweep_p.add_argument("--seed", type=int, default=1)
+    sweep_p.add_argument("--out", required=True,
+                         help="output path (.csv or .json)")
+    return parser
+
+
+def cmd_list() -> int:
+    """List workloads, schemes and row policies."""
+    print("workloads:")
+    for name, wl in ALL_WORKLOADS.items():
+        print(f"  {name:<12} {', '.join(wl.app_names)}")
+    print("schemes:")
+    for name in ALL_SCHEMES:
+        print(f"  {name}")
+    print("policies:")
+    for name, policy in _POLICIES.items():
+        print(f"  {name:<12} {policy.value}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Simulate one configuration and print its summary report."""
+    from repro.stats.report import format_breakdown
+
+    runner = ExperimentRunner(events_per_core=args.events, seed=args.seed)
+    scheme = by_name(args.scheme)
+    policy = _POLICIES[args.policy]
+    result = runner.run(args.workload, scheme, policy)
+    print(f"{args.workload} / {scheme.name} / {policy.value}")
+    for key, value in result.summary().items():
+        print(f"  {key:<24}{value:>14.4f}")
+    print("  activation granularity mix:")
+    for g, frac in result.granularity_fractions().items():
+        if frac:
+            print(f"    {g}/8 row{'':<14}{frac:>14.3f}")
+    print()
+    print(format_breakdown(result.power.fractions(), title="  power breakdown"))
+    reads = result.controller.reads.latency_hist
+    if reads.samples:
+        print(f"  read latency (cycles): p50 {reads.percentile(50):.0f}  "
+              f"p95 {reads.percentile(95):.0f}  p99 {reads.percentile(99):.0f}  "
+              f"max {reads.max_value}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare schemes on one workload, normalized to the baseline."""
+    runner = ExperimentRunner(events_per_core=args.events, seed=args.seed)
+    policy = _POLICIES[args.policy]
+    schemes = [by_name(s) for s in args.schemes]
+    if BASELINE not in schemes:
+        schemes.insert(0, BASELINE)
+    print(f"{args.workload} ({policy.value}, {args.events} events/core)")
+    header = f"{'scheme':<14}{'power':>8}{'energy':>8}{'EDP':>8}{'perf':>8}"
+    print(header)
+    print("-" * len(header))
+    for scheme in schemes:
+        power = runner.normalized_power(args.workload, scheme, policy)
+        energy = runner.normalized_energy(args.workload, scheme, policy)
+        edp = runner.normalized_edp(args.workload, scheme, policy)
+        perf = runner.normalized_performance(args.workload, scheme, policy)
+        print(f"{scheme.name:<14}{power:>8.3f}{energy:>8.3f}{edp:>8.3f}{perf:>8.3f}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a scheme x workload x policy grid and export CSV/JSON."""
+    from repro.sim.sweep import Sweep
+
+    sweep = Sweep(events_per_core=args.events, seed=args.seed)
+    sweep.add_axis("scheme", args.schemes)
+    sweep.add_axis("workload", args.workloads)
+    sweep.add_axis("policy", args.policies)
+    rows = sweep.run()
+    if args.out.endswith(".json"):
+        sweep.to_json(args.out)
+    else:
+        sweep.to_csv(args.out)
+    print(f"wrote {len(rows)} rows to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return cmd_list()
+        if args.command == "run":
+            return cmd_run(args)
+        if args.command == "compare":
+            return cmd_compare(args)
+        if args.command == "sweep":
+            return cmd_sweep(args)
+    except (KeyError, ValueError) as exc:
+        # Bad scheme/workload names and invalid sizes are user errors:
+        # print them cleanly instead of a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

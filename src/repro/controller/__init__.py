@@ -1,0 +1,16 @@
+"""Memory-controller substrate: queues, FR-FCFS scheduling, row policies."""
+
+from repro.controller.memctrl import ChannelController
+from repro.controller.policies import ROW_HIT_CAP, RowPolicy
+from repro.controller.queues import RequestQueue, row_key
+from repro.controller.stats import ControllerStats, KindStats
+
+__all__ = [
+    "ChannelController",
+    "ControllerStats",
+    "KindStats",
+    "RequestQueue",
+    "row_key",
+    "ROW_HIT_CAP",
+    "RowPolicy",
+]

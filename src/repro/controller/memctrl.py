@@ -1,0 +1,558 @@
+"""FR-FCFS memory controller with PRA support (one instance per channel).
+
+Implements the paper's baseline controller (Section 5.1.2) plus the PRA
+extensions (Section 4):
+
+* FR-FCFS scheduling: ready row-buffer hits first, then oldest-first,
+  with reads prioritized over writes;
+* separate 64-entry read/write queues with 48/16 high/low watermarks
+  driving write drains;
+* relaxed close-page (close rows nothing can use; precharge power-down)
+  or restricted close-page (auto-precharge after every access);
+* a 4-access row-hit cap per activation to preserve fairness;
+* PRA: masked write activations (mask = OR of queued same-row writes),
+  +1 cycle mask transfer on the address bus, false-row-buffer-hit
+  detection and recovery (PRE + re-ACT), relaxed tRRD/tFAW for partial
+  activations, and partial write bursts (only dirty words driven);
+* refresh every tREFI with open-bank force-precharge.
+
+The controller is stepped by the system simulator; ``step`` issues at
+most one command and returns a *hint*: the next cycle at which calling
+again could make progress (used for event skip-ahead).
+
+The scheduling passes are deliberately written with bank/rank pruning
+and local-variable binding: this is the hottest code in the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.controller.policies import ROW_HIT_CAP, RowPolicy
+from repro.controller.queues import RequestQueue, row_key
+from repro.controller.stats import ControllerStats
+from repro.core import mask as mask_ops
+from repro.core.schemes import Scheme
+from repro.dram.channel import Channel
+from repro.dram.geometry import FULL_MASK, WORDS_PER_LINE
+from repro.dram.commands import Request
+from repro.dram.protocol import Cmd, CommandRecord
+from repro.dram.timing import TimingParams
+from repro.power.accounting import PowerAccountant
+
+_NEVER = 1 << 62
+
+
+class ChannelController:
+    """Memory controller for a single channel."""
+
+    def __init__(
+        self,
+        channel: Channel,
+        scheme: Scheme,
+        timing: TimingParams,
+        policy: RowPolicy,
+        accountant: PowerAccountant,
+        read_queue_size: int = 64,
+        write_queue_size: int = 64,
+        drain_high_watermark: int = 48,
+        drain_low_watermark: int = 16,
+        scan_depth: int = 8,
+        row_hit_cap: int = ROW_HIT_CAP,
+        scheduler: str = "frfcfs",
+    ) -> None:
+        if not 0 <= drain_low_watermark < drain_high_watermark <= write_queue_size:
+            raise ValueError("watermarks must satisfy 0 <= low < high <= capacity")
+        if scheduler not in ("frfcfs", "fcfs"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        self.channel = channel
+        self.scheme = scheme
+        self.timing = timing
+        self.policy = policy
+        self.accountant = accountant
+        self.read_q = RequestQueue(read_queue_size)
+        self.write_q = RequestQueue(write_queue_size)
+        self.hi_mark = drain_high_watermark
+        self.lo_mark = drain_low_watermark
+        self.scan_depth = scan_depth
+        #: "frfcfs" (paper baseline: ready row hits first) or "fcfs"
+        #: (pure oldest-first; ablation of the hit-first pass).
+        self.scheduler = scheduler
+        self.row_hit_cap = row_hit_cap if policy.allows_row_hits else 0
+        self.stats = ControllerStats()
+        self.draining = False
+        #: (complete_cycle, request) pairs for reads whose data returned.
+        self.completed_reads: List[Tuple[int, Request]] = []
+        #: Requests that found their queue full; drained FIFO as space
+        #: frees (models an admission buffer in front of the controller).
+        self.overflow: "deque[Request]" = deque()
+        #: Highest cycle at which this controller has issued a command,
+        #: plus one; batched simulation never reprocesses earlier cycles.
+        self.local_clock: int = 0
+        self._other_ranks = len(channel.ranks) - 1
+        #: Whether writes need full coverage from an open (partial) row.
+        self._write_needs_mask = scheme.write_uses_mask
+        #: Optional differential verifier (repro.dram.protocol); every
+        #: issued command is replayed through it when attached.
+        self.protocol_checker = None
+
+    # ------------------------------------------------------------------
+    # Queue interface (used by the CPU/cache side)
+    # ------------------------------------------------------------------
+    def can_accept(self, req: Request) -> bool:
+        queue = self.read_q if req.is_read else self.write_q
+        return not queue.is_full
+
+    def enqueue(self, req: Request) -> bool:
+        """Admit a request; returns False when the queue is full."""
+        queue = self.read_q if req.is_read else self.write_q
+        if queue.is_full:
+            return False
+        req._missed = False
+        req._false = False
+        queue.append(req)
+        return True
+
+    def submit(self, req: Request) -> None:
+        """Admit a request, spilling to the admission buffer if full."""
+        if self.overflow or not self.enqueue(req):
+            self.overflow.append(req)
+
+    def _drain_overflow(self) -> None:
+        buf = self.overflow
+        while buf and self.enqueue(buf[0]):
+            buf.popleft()
+
+    @property
+    def pending(self) -> int:
+        return len(self.read_q) + len(self.write_q) + len(self.overflow)
+
+    def _observe(self, record: CommandRecord) -> None:
+        if self.protocol_checker is not None:
+            self.protocol_checker.observe(record)
+
+    def _needed_mask(self, req: Request) -> int:
+        """MAT-group coverage the request needs from an open row."""
+        if self._write_needs_mask and not req.is_read:
+            return req.dirty_mask
+        return FULL_MASK
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> Tuple[bool, int]:
+        """Try to issue one command at ``cycle``.
+
+        Returns ``(issued, hint)`` where ``hint`` is the next cycle at
+        which progress may be possible (valid when nothing issued).
+        """
+        channel = self.channel
+        if self.overflow:
+            self._drain_overflow()
+        if not channel.cmd_bus_ready(cycle):
+            return (False, channel.cmd_bus_free)
+
+        hint = _NEVER
+        open_banks = []  # (rank_idx, bank_idx, bank) after housekeeping
+        refresh_pending = 0  # bitmask of ranks due for refresh
+        read_q, write_q = self.read_q, self.write_q
+        policy = self.policy
+        close_idle = policy.closes_idle_rows
+        hit_cap = self.row_hit_cap
+
+        # --- Housekeeping + refresh + open-bank collection (one pass) ---
+        for rank_idx, rank in enumerate(channel.ranks):
+            refresh_due = rank.refresh_due(cycle)
+            if refresh_due:
+                refresh_pending |= 1 << rank_idx
+                if rank.powered_down:
+                    rank.exit_power_down(cycle)
+                    hint = min(hint, rank.pd_exit_ready)
+                    continue
+                gate = rank.command_gate(cycle)
+                if cycle < gate:
+                    hint = min(hint, gate)
+                    continue
+            any_open = False
+            for bank_idx, bank in enumerate(rank.banks):
+                if bank.open_row is None:
+                    continue
+                # Auto-precharge (restricted policy) is command-free.
+                if bank.pending_autopre:
+                    if bank.can_precharge(cycle):
+                        rank.accrue_background(cycle)
+                        bank.precharge(cycle)
+                        bank.pending_autopre = False
+                        self.stats.precharges += 1
+                        self._observe(CommandRecord(
+                            cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,
+                            bank=bank_idx, implicit=True))
+                    else:
+                        hint = min(hint, bank.pre_ready)
+                        any_open = True
+                    continue
+                if refresh_due:
+                    # Force-close for refresh (consumes the command slot).
+                    if bank.can_precharge(cycle):
+                        rank.accrue_background(cycle)
+                        bank.precharge(cycle)
+                        self.stats.precharges += 1
+                        self._observe(CommandRecord(
+                            cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,
+                            bank=bank_idx))
+                        channel.occupy_cmd_bus(cycle)
+                        return (True, cycle + 1)
+                    hint = min(hint, bank.pre_ready)
+                    any_open = True
+                    continue
+                if close_idle and cycle >= bank.pre_ready:
+                    cap_hit = hit_cap and bank.open_row_accesses >= hit_cap
+                    if cap_hit or not (
+                        read_q.has_row((rank_idx, bank_idx, bank.open_row))
+                        or write_q.has_row((rank_idx, bank_idx, bank.open_row))
+                    ):
+                        rank.accrue_background(cycle)
+                        bank.precharge(cycle)
+                        self.stats.precharges += 1
+                        self._observe(CommandRecord(
+                            cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,
+                            bank=bank_idx, implicit=True))
+                        continue
+                any_open = True
+                open_banks.append((rank_idx, bank_idx, bank))
+            if refresh_due and not any_open and not rank.powered_down:
+                if cycle >= rank.command_gate(cycle):
+                    rank.do_refresh(cycle)
+                    self.accountant.on_refresh()
+                    self.stats.refreshes += 1
+                    self._observe(CommandRecord(cycle=cycle, cmd=Cmd.REF, rank=rank_idx))
+                    channel.occupy_cmd_bus(cycle)
+                    return (True, cycle + 1)
+            if (
+                not refresh_due
+                and policy.uses_power_down
+                and not rank.powered_down
+                and not any_open
+                and not read_q.pending_for_rank(rank_idx)
+                and not write_q.pending_for_rank(rank_idx)
+                and rank.all_precharged
+            ):
+                rank.enter_power_down(cycle)
+                self.stats.power_down_entries += 1
+
+        # --- Write drain hysteresis (48/16 watermarks) ---
+        if self.draining and len(write_q) <= self.lo_mark:
+            self.draining = False
+        elif not self.draining and len(write_q) >= self.hi_mark:
+            self.draining = True
+            self.stats.drain_entries += 1
+
+        serve_writes = self.draining or (not len(read_q) and len(write_q))
+        primary = write_q if serve_writes else read_q
+
+        # --- Pass 1: ready row-buffer hits, oldest first (FR-FCFS) ---
+        if hit_cap and open_banks and self.scheduler == "frfcfs":
+            best = None
+            best_bank = None
+            for rank_idx, bank_idx, bank in open_banks:
+                if refresh_pending >> rank_idx & 1:
+                    continue
+                if bank.open_row_accesses >= hit_cap:
+                    continue
+                cand = primary.oldest_for_row((rank_idx, bank_idx, bank.open_row))
+                if cand is None:
+                    continue
+                needed = cand.dirty_mask if (self._write_needs_mask and not cand.is_read) else FULL_MASK
+                if needed & ~bank.open_mask:
+                    continue
+                if best is None or (cand.arrive_cycle, cand.req_id) < (
+                    best.arrive_cycle,
+                    best.req_id,
+                ):
+                    best = cand
+                    best_bank = (rank_idx, bank_idx)
+            if best is not None:
+                issued, h = self._try_column(cycle, best, *best_bank)
+                if issued:
+                    return (True, cycle + 1)
+                hint = min(hint, h)
+
+        # --- Pass 2: oldest-first over the primary queue ---
+        issued, h = self._try_oldest(cycle, primary, refresh_pending)
+        if issued:
+            return (True, cycle + 1)
+        hint = min(hint, h)
+
+        # Idle: wake for the next refresh deadline.
+        for rank in channel.ranks:
+            if rank.next_refresh < hint:
+                hint = rank.next_refresh
+        return (False, hint if hint > cycle else cycle + 1)
+
+    # ------------------------------------------------------------------
+    def run_until(self, cycle: int, limit: int) -> int:
+        """Issue commands from ``cycle`` until (exclusive) ``limit``.
+
+        ``limit`` must be the next cycle at which the outside world can
+        change the controller's inputs (a new request arrival or an
+        already-pending completion).  If a read completes *earlier*
+        than ``limit``, the batch stops there so the waiting core can
+        react on time.  Returns the next cycle at which calling the
+        controller could make progress.
+        """
+        local = max(cycle, self.local_clock)
+        if local >= limit:
+            return local
+        completions_seen = len(self.completed_reads)
+        while local < limit:
+            issued, hint = self.step(local)
+            if issued:
+                self.local_clock = local + 1
+                if len(self.completed_reads) > completions_seen:
+                    for done_cycle, _ in self.completed_reads[completions_seen:]:
+                        if done_cycle < limit:
+                            limit = done_cycle
+                    completions_seen = len(self.completed_reads)
+                local += 1
+                continue
+            if hint >= limit:
+                return hint
+            if not self.pending:
+                # Only refreshes remain; let the outer loop pace them so
+                # an unbounded horizon cannot trap the batch here.
+                return hint
+            local = hint
+        return limit
+
+    # ------------------------------------------------------------------
+    def _try_oldest(
+        self, cycle: int, primary: RequestQueue, refresh_pending: int
+    ) -> Tuple[bool, int]:
+        hint = _NEVER
+        banks_seen = set()
+        ranks = self.channel.ranks
+        allows_hits = self.policy.allows_row_hits
+        hit_cap = self.row_hit_cap
+        write_needs_mask = self._write_needs_mask
+        for req in primary.iter_oldest(self.scan_depth):
+            addr = req.addr
+            rank_idx = addr.rank
+            if refresh_pending >> rank_idx & 1:
+                continue
+            bank_idx = addr.bank
+            bank_key = rank_idx << 8 | bank_idx
+            if bank_key in banks_seen:
+                continue  # an older request to this bank already failed
+            banks_seen.add(bank_key)
+            rank = ranks[rank_idx]
+            if rank.powered_down:
+                rank.exit_power_down(cycle)
+                hint = min(hint, rank.pd_exit_ready)
+                continue
+            bank = rank.banks[bank_idx]
+            open_row = bank.open_row
+            needed = req.dirty_mask if (write_needs_mask and not req.is_read) else FULL_MASK
+            if open_row is None:
+                issued, h = self._try_activate(cycle, req, rank_idx, bank_idx)
+            elif open_row == addr.row and not (needed & ~bank.open_mask):
+                # Restricted close-page permits exactly one column access
+                # per activation: the one the ACT was issued for.
+                may_access = (
+                    bank.open_row_accesses < hit_cap
+                    if allows_hits
+                    else (
+                        bank.open_row_accesses == 0
+                        and bank.reserved_req == req.req_id
+                    )
+                )
+                if may_access:
+                    issued, h = self._try_column(cycle, req, rank_idx, bank_idx)
+                else:
+                    issued, h = self._try_precharge(cycle, rank, bank)
+            else:
+                if open_row == addr.row and not req._false:
+                    req._false = True
+                    self.stats.false_hit_reactivations += 1
+                if self._row_still_useful(rank_idx, bank_idx, bank, primary):
+                    continue  # let pending hits to the open row drain first
+                issued, h = self._try_precharge(cycle, rank, bank)
+            if issued:
+                return (True, hint)
+            hint = min(hint, h)
+        return (False, hint)
+
+    def _row_still_useful(
+        self, rank_idx: int, bank_idx: int, bank, primary: RequestQueue
+    ) -> bool:
+        """True if the open row has coverable requests in ``primary``.
+
+        Only the queue currently being served may keep a row open:
+        otherwise a read conflicting with a row that only queued writes
+        could use would wait for writes that are themselves waiting for
+        the read queue to empty (priority livelock).
+        """
+        if not self.policy.allows_row_hits:
+            return False
+        if self.scheduler == "fcfs":
+            # Strict order: the oldest request always wins the bank.
+            return False
+        if bank.open_row_accesses >= self.row_hit_cap:
+            return False
+        key = (rank_idx, bank_idx, bank.open_row)
+        open_mask = bank.open_mask
+        for cand in primary.requests_for_row(key):
+            needed = (
+                cand.dirty_mask
+                if (self._write_needs_mask and not cand.is_read)
+                else FULL_MASK
+            )
+            if not (needed & ~open_mask):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Command issue helpers
+    # ------------------------------------------------------------------
+    def _activation_plan(self, req: Request) -> Tuple[int, float, bool]:
+        """Coverage mask, activated fraction and masked? for an ACT."""
+        scheme = self.scheme
+        if req.is_write and scheme.write_uses_mask:
+            merged = req.dirty_mask
+            for w in self.write_q.requests_for_row(row_key(req)):
+                merged |= w.dirty_mask
+            fraction = (
+                mask_ops.popcount(merged) / WORDS_PER_LINE
+            ) * scheme.mask_scale
+            masked = merged != FULL_MASK
+            return (merged, fraction, masked)
+        if req.is_write:
+            return (FULL_MASK, scheme.write_fraction, False)
+        return (FULL_MASK, scheme.read_fraction, False)
+
+    def _try_activate(
+        self, cycle: int, req: Request, rank_idx: int, bank_idx: int
+    ) -> Tuple[bool, int]:
+        rank = self.channel.ranks[rank_idx]
+        bank = rank.banks[bank_idx]
+        coverage, fraction, masked = self._activation_plan(req)
+        # Ceil, not round: a 2.5/8 activation must weigh at least 3/8
+        # in the tRRD/tFAW budget (conservative for peak power).
+        granularity = max(1, math.ceil(fraction * 8 - 1e-9))
+        earliest = rank.earliest_activate(cycle, bank_idx, granularity)
+        if earliest > cycle:
+            return (False, earliest)
+        if masked and self.scheme.mask_via_dm_pin:
+            # Section 4.2 alternative: the mask rides the DM pin, so no
+            # +1 tRCD and no second command-bus cycle - but the chip's
+            # write buffer is occupied until the partial activation
+            # completes, blocking further writes to this rank (the
+            # rank/bank-parallelism cost the paper warns about).
+            rank.hold_write_buffer(cycle + self.timing.trcd)
+        rank.accrue_background(cycle)
+        act_mask = coverage if masked else FULL_MASK
+        pays_mask_cycle = masked and self.scheme.masked_act_extra_cycle
+        bank.activate(
+            cycle, req.addr.row, act_mask, mask_transfer_cycle=pays_mask_cycle
+        )
+        rank.record_activate(cycle, granularity)
+        bank.reserved_req = req.req_id if self.policy.auto_precharge else None
+        self._observe(CommandRecord(
+            cycle=cycle, cmd=Cmd.ACT, rank=rank_idx, bank=bank_idx,
+            row=req.addr.row, mask=act_mask, granularity=granularity,
+            masked=pays_mask_cycle))
+        self.accountant.on_activate_fraction(fraction)
+        kind_stats = self.stats.reads if req.is_read else self.stats.writes
+        kind_stats.activations += 1
+        req._missed = True
+        cmd_cycles = 2 if pays_mask_cycle else 1
+        self.channel.occupy_cmd_bus(cycle, cmd_cycles)
+        return (True, cycle + 1)
+
+    def _try_precharge(self, cycle, rank, bank) -> Tuple[bool, int]:
+        gate = rank.command_gate(cycle)
+        if cycle < gate:
+            return (False, gate)
+        if not bank.can_precharge(cycle):
+            return (False, max(bank.pre_ready, cycle + 1))
+        rank.accrue_background(cycle)
+        rank_idx = self.channel.ranks.index(rank)
+        bank_idx = rank.banks.index(bank)
+        bank.precharge(cycle)
+        bank.pending_autopre = False
+        self.stats.precharges += 1
+        self._observe(CommandRecord(
+            cycle=cycle, cmd=Cmd.PRE, rank=rank_idx, bank=bank_idx))
+        self.channel.occupy_cmd_bus(cycle)
+        return (True, cycle + 1)
+
+    def _try_column(
+        self, cycle: int, req: Request, rank_idx: int, bank_idx: int
+    ) -> Tuple[bool, int]:
+        rank = self.channel.ranks[rank_idx]
+        bank = rank.banks[bank_idx]
+        timing = self.timing
+        if req.is_read:
+            earliest = rank.earliest_read(cycle, bank_idx)
+            data_delay = timing.tcas
+        else:
+            earliest = rank.earliest_write(cycle, bank_idx)
+            data_delay = timing.tcwl
+        if earliest > cycle or rank.powered_down:
+            return (False, max(earliest, cycle + 1))
+        burst_start = cycle + data_delay
+        bus_start = self.channel.earliest_burst_start(burst_start, rank_idx)
+        if bus_start > burst_start:
+            return (False, max(cycle + 1, bus_start - data_delay))
+        if req.is_read:
+            bank.read(cycle)
+        else:
+            bank.write(cycle)
+        burst_end = self.channel.occupy_data_bus(burst_start, rank_idx)
+        self._observe(CommandRecord(
+            cycle=cycle, cmd=Cmd.RD if req.is_read else Cmd.WR,
+            rank=rank_idx, bank=bank_idx,
+            burst_start=burst_start, burst_end=burst_end,
+            needed_mask=self._needed_mask(req)))
+        # Recompute recovery with the channel's (possibly FGA-doubled)
+        # burst length: the device cannot precharge before data is in.
+        if req.is_read:
+            rank.record_read(cycle)
+        else:
+            bank.pre_ready = max(bank.pre_ready, burst_end + timing.twr)
+            rank.record_write(cycle, burst_end)
+        if self.policy.auto_precharge:
+            bank.pending_autopre = True
+
+        was_hit = not req._missed
+        was_false = bool(req._false)
+        if req.is_read:
+            req.complete_cycle = burst_end
+            latency = burst_end - req.arrive_cycle
+            self.stats.reads.record_service(was_hit, was_false, latency)
+            self.read_q.remove(req)
+            self.completed_reads.append((burst_end, req))
+            self.accountant.on_read_burst(other_ranks=self._other_ranks)
+        else:
+            req.complete_cycle = cycle
+            latency = cycle - req.arrive_cycle
+            self.stats.writes.record_service(was_hit, was_false, latency)
+            self.write_q.remove(req)
+            if self.scheme.scale_write_io:
+                driven = mask_ops.popcount(req.dirty_mask) / WORDS_PER_LINE
+            else:
+                driven = 1.0
+            self.accountant.on_write_burst(
+                driven_fraction=driven, other_ranks=self._other_ranks
+            )
+        self.channel.occupy_cmd_bus(cycle)
+        return (True, cycle + 1)
+
+    # ------------------------------------------------------------------
+    def flush_background(self, cycle: int) -> None:
+        """Accrue background residency up to ``cycle`` (end of run)."""
+        for rank in self.channel.ranks:
+            rank.accrue_background(cycle)
+            self.accountant.add_background(rank.bg_residency)
+            rank.bg_residency = {"act_stby": 0, "pre_stby": 0, "pre_pdn": 0}

@@ -1,0 +1,115 @@
+"""Request queues with per-row indexing for FR-FCFS and PRA mask merging.
+
+The controller needs three fast operations the paper's scheduler relies
+on:
+
+* oldest request overall (FCFS order),
+* oldest request targeting a given open row (the "first-ready" part of
+  FR-FCFS),
+* all queued writes to a row (to OR their PRA masks at activation,
+  Section 5.2.1).
+
+Removal is lazy: served requests are flagged and skipped/popped when
+they reach the head of a deque, keeping every operation amortized O(1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.dram.commands import Request
+
+RowKey = Tuple[int, int, int]
+
+def row_key(req: Request) -> RowKey:
+    """Row identity within a channel: (rank, bank, row)."""
+    addr = req.addr
+    return (addr.rank, addr.bank, addr.row)
+
+
+class RequestQueue:
+    """FCFS queue with a row index and lazy removal."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._fifo: Deque[Request] = deque()
+        self._by_row: Dict[RowKey, Deque[Request]] = {}
+        self._per_rank: Dict[int, int] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count >= self.capacity
+
+    def append(self, req: Request) -> None:
+        """Admit a request at the tail; raises OverflowError when full."""
+        if self.is_full:
+            raise OverflowError("queue full")
+        req.served = False
+        self._fifo.append(req)
+        key = row_key(req)
+        self._by_row.setdefault(key, deque()).append(req)
+        self._per_rank[req.addr.rank] = self._per_rank.get(req.addr.rank, 0) + 1
+        self._count += 1
+
+    def remove(self, req: Request) -> None:
+        """Mark a request served; physically dropped lazily."""
+        if req.served:
+            raise KeyError(f"request {req.req_id} already removed")
+        req.served = True
+        self._count -= 1
+        rank = req.addr.rank
+        self._per_rank[rank] -= 1
+        if self._per_rank[rank] == 0:
+            del self._per_rank[rank]
+
+    @staticmethod
+    def _compact(dq: Deque[Request]) -> None:
+        while dq and dq[0].served:
+            dq.popleft()
+
+    def oldest(self) -> Optional[Request]:
+        self._compact(self._fifo)
+        return self._fifo[0] if self._fifo else None
+
+    def iter_oldest(self, limit: int) -> Iterable[Request]:
+        """Up to ``limit`` live requests in FCFS order."""
+        self._compact(self._fifo)
+        found = 0
+        for req in self._fifo:
+            if req.served:
+                continue
+            yield req
+            found += 1
+            if found >= limit:
+                return
+
+    def oldest_for_row(self, key: RowKey) -> Optional[Request]:
+        """Oldest live request targeting the row, or None."""
+        dq = self._by_row.get(key)
+        if dq is None:
+            return None
+        self._compact(dq)
+        if not dq:
+            del self._by_row[key]
+            return None
+        return dq[0]
+
+    def has_row(self, key: RowKey) -> bool:
+        return self.oldest_for_row(key) is not None
+
+    def requests_for_row(self, key: RowKey) -> List[Request]:
+        """All live requests targeting the row, oldest first."""
+        dq = self._by_row.get(key)
+        if not dq:
+            return []
+        return [r for r in dq if not r.served]
+
+    def pending_for_rank(self, rank: int) -> int:
+        return self._per_rank.get(rank, 0)

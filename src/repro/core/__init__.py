@@ -1,0 +1,59 @@
+"""The paper's contribution: PRA masks and activation schemes."""
+
+from repro.core.mask import (
+    PRAMask,
+    activated_fraction,
+    covers,
+    granularity_eighths,
+    is_full,
+    merge,
+    popcount,
+    word_indices,
+)
+from repro.core.sds import (
+    GranularityComparison,
+    SDSComparator,
+    StoreWidthModel,
+    masks_from_distribution,
+)
+from repro.core.schemes import (
+    ALL_SCHEMES,
+    BASELINE,
+    DBI,
+    DBI_PRA,
+    FGA,
+    HALF_DRAM,
+    HALF_DRAM_PRA,
+    MAIN_SCHEMES,
+    PRA,
+    PRA_DM,
+    Scheme,
+    by_name,
+)
+
+__all__ = [
+    "activated_fraction",
+    "ALL_SCHEMES",
+    "BASELINE",
+    "by_name",
+    "covers",
+    "DBI",
+    "DBI_PRA",
+    "FGA",
+    "granularity_eighths",
+    "HALF_DRAM",
+    "HALF_DRAM_PRA",
+    "is_full",
+    "MAIN_SCHEMES",
+    "merge",
+    "popcount",
+    "PRA",
+    "PRA_DM",
+    "PRAMask",
+    "Scheme",
+    "word_indices",
+    "GranularityComparison",
+    "SDSComparator",
+    "StoreWidthModel",
+    "masks_from_distribution",
+]

@@ -1,0 +1,117 @@
+"""PRA masks: which MAT groups of a row are (to be) activated.
+
+An 8-bit mask accompanies every PRA activation; bit *i* selects MAT
+group *i*, which stores word *i* of every cache line in the row
+(Figure 6).  The memory controller derives the mask from the
+fine-grained dirty bits of the evicted line and ORs together the masks
+of all queued writes heading to the same row (Section 5.2.1), so one
+partial activation can serve several pending writes.
+
+Masks are plain ints for speed; this module provides the semantics
+around them (granularity, coverage, merging) and a small value class
+used at API boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dram.geometry import FULL_MASK, WORDS_PER_LINE
+
+
+def popcount(mask: int) -> int:
+    """Number of selected MAT groups in ``mask``."""
+    return bin(mask & FULL_MASK).count("1")
+
+
+def is_full(mask: int) -> bool:
+    """True if the mask selects every MAT group (full-row activation)."""
+    return (mask & FULL_MASK) == FULL_MASK
+
+
+def covers(open_mask: int, needed_mask: int) -> bool:
+    """True if an open row with ``open_mask`` can serve ``needed_mask``.
+
+    A read needs ``needed_mask == FULL_MASK``; a write needs exactly its
+    dirty words.  If any needed group is closed, the access is a *false
+    row buffer hit* (Section 5.2.1) and requires PRE + ACT.
+    """
+    return (needed_mask & ~open_mask & FULL_MASK) == 0
+
+def merge(*masks: int) -> int:
+    """OR-merge several masks into one activation mask."""
+    out = 0
+    for mask in masks:
+        out |= mask
+    return out & FULL_MASK
+
+
+def granularity_eighths(mask: int) -> int:
+    """Activation granularity in eighths of a row (1..8)."""
+    count = popcount(mask)
+    if count == 0:
+        raise ValueError("an activation mask must select at least one group")
+    return count
+
+
+def activated_fraction(mask: int) -> float:
+    """Fraction of the row opened by ``mask`` (0 < f <= 1)."""
+    return granularity_eighths(mask) / WORDS_PER_LINE
+
+
+def word_indices(mask: int) -> "tuple[int, ...]":
+    """Indices of the words/MAT groups selected by ``mask``."""
+    return tuple(i for i in range(WORDS_PER_LINE) if mask >> i & 1)
+
+
+@dataclass(frozen=True)
+class PRAMask:
+    """Value-class wrapper over an 8-bit PRA mask.
+
+    The simulator hot paths use bare ints; :class:`PRAMask` is the
+    ergonomic form for public APIs, examples and tests.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bits <= FULL_MASK:
+            raise ValueError(f"mask bits out of range: {self.bits:#x}")
+
+    @classmethod
+    def full(cls) -> "PRAMask":
+        return cls(FULL_MASK)
+
+    @classmethod
+    def from_words(cls, words: Iterable[int]) -> "PRAMask":
+        bits = 0
+        for word in words:
+            if not 0 <= word < WORDS_PER_LINE:
+                raise ValueError(f"word index out of range: {word}")
+            bits |= 1 << word
+        return cls(bits)
+
+    @property
+    def granularity(self) -> int:
+        return granularity_eighths(self.bits)
+
+    @property
+    def fraction(self) -> float:
+        return activated_fraction(self.bits)
+
+    @property
+    def is_full(self) -> bool:
+        return is_full(self.bits)
+
+    def covers(self, other: "PRAMask") -> bool:
+        return covers(self.bits, other.bits)
+
+    def __or__(self, other: "PRAMask") -> "PRAMask":
+        return PRAMask(merge(self.bits, other.bits))
+
+    def words(self) -> "tuple[int, ...]":
+        return word_indices(self.bits)
+
+    def __str__(self) -> str:
+        return format(self.bits, "08b") + "b"

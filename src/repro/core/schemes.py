@@ -1,0 +1,156 @@
+"""Scheme configurations: Baseline, FGA, Half-DRAM, PRA and combinations.
+
+A :class:`Scheme` tells the memory controller and the power model how
+row activations behave:
+
+* **Baseline** — conventional DDR3: full-row activation for everything.
+* **FGA** (fine-grained activation, evaluated at half-row granularity
+  as in the paper) — half-row activation for reads *and* writes, but
+  the n-bit prefetch is broken, so a 64 B line needs twice the bus
+  cycles (16 half-width bursts), which costs performance.
+* **Half-DRAM** — half-row activation for reads and writes at full
+  bandwidth (MATs split vertically), relaxed tRRD/tFAW.
+* **PRA** (this paper) — full-row activation for reads; for writes,
+  only the MAT groups holding dirty words are activated (1/8 .. 8/8
+  granularity), only dirty words are driven on the bus (write I/O
+  savings), and partially open rows can produce *false row buffer
+  hits*.
+* **Half-DRAM + PRA** — PRA's masked write activation on top of
+  Half-DRAM's vertically split MATs: a write touching g word lanes
+  activates g/16 of the row (Section 5.2.3).
+* **DBI** / **DBI + PRA** — the Dirty-Block Index triggers DRAM-aware
+  writeback of same-row dirty lines (Section 5.2.3); orthogonal to the
+  activation scheme, so modelled as a flag combinable with any of the
+  above.
+
+Coverage vs. power are deliberately separate: Half-DRAM's half
+activation still covers every column of the row (the split is
+vertical), whereas PRA's partial activation covers only the selected
+word lanes — only the latter can cause false row buffer hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """Static description of a row-activation scheme."""
+
+    name: str
+    #: Fraction of the row's bitlines activated by a read ACT.
+    read_fraction: float = 1.0
+    #: Whether write activations are masked by the FGD dirty bits (PRA).
+    write_uses_mask: bool = False
+    #: Fraction activated by an unmasked write ACT.
+    write_fraction: float = 1.0
+    #: Extra scale applied to a masked write's activated fraction
+    #: (0.5 when PRA rides on Half-DRAM's split MATs).
+    mask_scale: float = 1.0
+    #: Data-bus occupancy multiplier for a line transfer (2 for FGA).
+    burst_multiplier: int = 1
+    #: Whether partial/half activations relax tRRD and tFAW.
+    relax_act_constraints: bool = False
+    #: Whether only dirty words are driven on writes (write I/O saving).
+    scale_write_io: bool = False
+    #: Whether masked activations pay the +1 cycle PRA-mask transfer.
+    masked_act_extra_cycle: bool = True
+    #: Deliver the PRA mask over the DM pin with a data burst instead
+    #: of the address bus (Section 4.2 design alternative): no +1 tRCD
+    #: cycle and no second command-bus cycle, but the data bus is held
+    #: for one burst before the activation, limiting rank/bank
+    #: parallelism exactly as the paper warns.
+    mask_via_dm_pin: bool = False
+    #: Whether the Dirty-Block Index drives DRAM-aware writeback.
+    dbi: bool = False
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("read_fraction", self.read_fraction),
+            ("write_fraction", self.write_fraction),
+            ("mask_scale", self.mask_scale),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{label} must be in (0, 1], got {value}")
+        if self.burst_multiplier < 1:
+            raise ValueError("burst_multiplier must be >= 1")
+
+    @property
+    def is_partial_write(self) -> bool:
+        """True if writes can open less of the row than reads need."""
+        return self.write_uses_mask
+
+    def with_dbi(self, enabled: bool = True) -> "Scheme":
+        suffix = "+DBI" if enabled and not self.dbi else ""
+        return replace(self, dbi=enabled, name=self.name + suffix)
+
+
+BASELINE = Scheme(name="Baseline")
+
+FGA = Scheme(
+    name="FGA",
+    read_fraction=0.5,
+    write_fraction=0.5,
+    burst_multiplier=2,
+    relax_act_constraints=True,
+)
+
+HALF_DRAM = Scheme(
+    name="Half-DRAM",
+    read_fraction=0.5,
+    write_fraction=0.5,
+    relax_act_constraints=True,
+)
+
+PRA = Scheme(
+    name="PRA",
+    write_uses_mask=True,
+    scale_write_io=True,
+    relax_act_constraints=True,
+)
+
+HALF_DRAM_PRA = Scheme(
+    name="Half-DRAM+PRA",
+    read_fraction=0.5,
+    write_uses_mask=True,
+    mask_scale=0.5,
+    scale_write_io=True,
+    relax_act_constraints=True,
+)
+
+DBI = Scheme(name="DBI", dbi=True)
+
+DBI_PRA = Scheme(
+    name="DBI+PRA",
+    write_uses_mask=True,
+    scale_write_io=True,
+    relax_act_constraints=True,
+    dbi=True,
+)
+
+PRA_DM = Scheme(
+    name="PRA-DM",
+    write_uses_mask=True,
+    scale_write_io=True,
+    relax_act_constraints=True,
+    masked_act_extra_cycle=False,
+    mask_via_dm_pin=True,
+)
+
+#: The schemes compared in Figures 12 and 13.
+MAIN_SCHEMES = (BASELINE, FGA, HALF_DRAM, PRA)
+
+#: All named schemes, keyed by name.
+ALL_SCHEMES = {
+    s.name: s
+    for s in (BASELINE, FGA, HALF_DRAM, PRA, HALF_DRAM_PRA, DBI, DBI_PRA, PRA_DM)
+}
+
+
+def by_name(name: str) -> Scheme:
+    """Look up a scheme by its paper name (case-insensitive)."""
+    for key, scheme in ALL_SCHEMES.items():
+        if key.lower() == name.lower():
+            return scheme
+    raise KeyError(f"unknown scheme {name!r}; known: {sorted(ALL_SCHEMES)}")

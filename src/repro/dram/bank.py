@@ -1,0 +1,223 @@
+"""Bank state machine with partial-row (PRA) support.
+
+Each bank tracks its open row, the PRA mask under which the row was
+opened (``FULL_MASK`` for a conventional activation) and the earliest
+cycles at which the next ACT / column / PRE command may be issued, per
+the DDR3 timing rules of :class:`repro.dram.timing.TimingParams`.
+
+A PRA activation behaves exactly like a normal activation except that
+
+* only the masked MAT groups are opened (so only matching accesses hit),
+* the column command is delayed one extra cycle (mask transfer,
+  Fig. 7a), and
+* the activation energy recorded is the per-granularity value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import mask as mask_ops
+from repro.dram.geometry import FULL_MASK
+from repro.dram.timing import TimingParams
+
+
+class BankStateError(RuntimeError):
+    """A command was applied in a state or at a time that violates DDR3 rules."""
+
+
+@dataclass
+class Bank:
+    """One DRAM bank (replicated across the chips of a rank)."""
+
+    timing: TimingParams
+    #: Currently open row, or None when precharged.
+    open_row: Optional[int] = None
+    #: PRA mask under which the open row was activated.
+    open_mask: int = FULL_MASK
+    #: Earliest cycle an ACT may be issued to this bank.
+    act_ready: int = 0
+    #: Earliest cycle a column (RD/WR) command may be issued.
+    col_ready: int = 0
+    #: Earliest cycle a PRE may be issued.
+    pre_ready: int = 0
+    #: Cycle of the most recent activation (stats/debug).
+    last_act_cycle: int = -1
+    #: Number of column accesses served by the open row (row-hit cap).
+    open_row_accesses: int = 0
+    #: Set by the controller when the open row must auto-precharge
+    #: (restricted close-page policy).
+    pending_autopre: bool = False
+    #: Under restricted close-page, the request id the current
+    #: activation was issued for; only that request may use the row
+    #: (ACT + column + PRE are atomic in that policy).
+    reserved_req: Optional[int] = None
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None
+
+    def can_activate(self, cycle: int) -> bool:
+        return self.open_row is None and cycle >= self.act_ready
+
+    def can_column(self, cycle: int) -> bool:
+        return self.open_row is not None and cycle >= self.col_ready
+
+    def can_precharge(self, cycle: int) -> bool:
+        return self.open_row is not None and cycle >= self.pre_ready
+
+    def hit_kind(self, row: int, needed_mask: int) -> str:
+        """Classify an access against the bank's current row state.
+
+        Returns one of:
+
+        * ``"hit"``    — row open and every needed MAT group open,
+        * ``"false"``  — row open but a needed MAT group closed
+          (the paper's *false row buffer hit*; requires PRE + ACT),
+        * ``"miss"``   — a different row is open (row conflict),
+        * ``"closed"`` — bank precharged.
+        """
+        if self.open_row is None:
+            return "closed"
+        if self.open_row != row:
+            return "miss"
+        if mask_ops.covers(self.open_mask, needed_mask):
+            return "hit"
+        return "false"
+
+    def activate(
+        self,
+        cycle: int,
+        row: int,
+        mask: int = FULL_MASK,
+        mask_transfer_cycle: "bool | None" = None,
+    ) -> None:
+        """Open ``row`` with ``mask`` (partial if mask != FULL_MASK).
+
+        ``mask_transfer_cycle`` controls the +1 tRCD penalty for the
+        PRA-mask transfer; ``None`` (default) applies it exactly when
+        the mask is partial (address-bus delivery, Fig. 7a).  The
+        DM-pin delivery alternative passes ``False``.
+        """
+        if not self.can_activate(cycle):
+            raise BankStateError(
+                f"ACT at {cycle} illegal (open_row={self.open_row}, "
+                f"act_ready={self.act_ready})"
+            )
+        if not 0 < mask <= FULL_MASK:
+            raise BankStateError(f"activation mask out of range: {mask:#x}")
+        t = self.timing
+        if mask_transfer_cycle is None:
+            mask_transfer_cycle = mask != FULL_MASK
+        extra = t.pra_extra if mask_transfer_cycle else 0
+        self.open_row = row
+        self.open_mask = mask
+        self.col_ready = cycle + t.trcd + extra
+        self.pre_ready = max(self.pre_ready, cycle + t.tras)
+        self.act_ready = cycle + t.trc
+        self.last_act_cycle = cycle
+        self.open_row_accesses = 0
+
+    def widen(self, cycle: int, extra_mask: int) -> None:
+        """OR additional groups into the open mask.
+
+        Not a device operation in the paper (a false hit always closes
+        the row first); provided for scheme ablations that model an
+        incremental-activation variant.
+        """
+        if self.open_row is None:
+            raise BankStateError("cannot widen a precharged bank")
+        self.open_mask = mask_ops.merge(self.open_mask, extra_mask)
+        self.col_ready = max(self.col_ready, cycle + self.timing.trcd)
+
+    def read(self, cycle: int) -> int:
+        """Issue a column read; returns the cycle the data burst ends."""
+        if not self.can_column(cycle):
+            raise BankStateError(f"READ at {cycle} illegal (col_ready={self.col_ready})")
+        t = self.timing
+        burst_end = cycle + t.tcas + t.tburst
+        self.col_ready = max(self.col_ready, cycle + t.tccd)
+        self.pre_ready = max(self.pre_ready, cycle + t.trtp)
+        self.open_row_accesses += 1
+        return burst_end
+
+    def write(self, cycle: int) -> int:
+        """Issue a column write; returns the cycle the data burst ends."""
+        if not self.can_column(cycle):
+            raise BankStateError(f"WRITE at {cycle} illegal (col_ready={self.col_ready})")
+        t = self.timing
+        burst_end = cycle + t.tcwl + t.tburst
+        self.col_ready = max(self.col_ready, cycle + t.tccd)
+        self.pre_ready = max(self.pre_ready, burst_end + t.twr)
+        self.open_row_accesses += 1
+        return burst_end
+
+    def precharge(self, cycle: int) -> None:
+        """Close the open row; the next ACT waits tRP."""
+        if not self.can_precharge(cycle):
+            raise BankStateError(
+                f"PRE at {cycle} illegal (open={self.open_row}, pre_ready={self.pre_ready})"
+            )
+        self.open_row = None
+        self.open_mask = FULL_MASK
+        self.act_ready = max(self.act_ready, cycle + self.timing.trp)
+
+    def block_for_refresh(self, cycle: int) -> None:
+        """Push out the next ACT to after a refresh that starts now."""
+        if self.open_row is not None:
+            raise BankStateError("refresh requires all banks precharged")
+        self.act_ready = max(self.act_ready, cycle + self.timing.trfc)
+
+
+@dataclass
+class ActivationWindow:
+    """Sliding-window tracker for tFAW with fractional (PRA) weights.
+
+    A full-row activation has weight 1.0; a partial activation of g/8
+    granularity weighs g/8, reflecting its proportionally smaller
+    contribution to the peak-power budget that tFAW protects
+    (Section 4.1.3: relaxed tRRD/tFAW).
+    """
+
+    tfaw: int
+    budget: float = 4.0
+    history: list = field(default_factory=list)
+
+    def weight_in_window(self, cycle: int) -> float:
+        """ACT weight inside the window ending at ``cycle`` (pure query).
+
+        Queries must not prune the history: hint computations probe
+        *future* cycles, and pruning on those probes would drop entries
+        still live for queries at earlier cycles (a real tFAW-violation
+        bug caught by the protocol checker).
+        """
+        window_start = cycle - self.tfaw
+        return sum(w for c, w in self.history if c > window_start)
+
+    def can_activate(self, cycle: int, weight: float) -> bool:
+        return self.weight_in_window(cycle) + weight <= self.budget + 1e-9
+
+    def next_allowed(self, cycle: int, weight: float) -> int:
+        """Earliest cycle at which an ACT of ``weight`` fits the window."""
+        window_start = cycle - self.tfaw
+        live = [(c, w) for c, w in self.history if c > window_start]
+        total = sum(w for _, w in live)
+        candidate = cycle
+        idx = 0
+        while total + weight > self.budget + 1e-9 and idx < len(live):
+            candidate = live[idx][0] + self.tfaw + 1
+            total -= live[idx][1]
+            idx += 1
+        return candidate
+
+    def record(self, cycle: int, weight: float) -> None:
+        """Record an issued ACT; prunes entries the window outgrew.
+
+        Issue times are monotonic per rank, so pruning here is safe.
+        """
+        hist = self.history
+        window_start = cycle - self.tfaw
+        while hist and hist[0][0] <= window_start:
+            hist.pop(0)
+        hist.append((cycle, weight))

@@ -1,0 +1,106 @@
+"""DRAM commands and memory requests.
+
+``Command`` enumerates the device commands the controller can issue.
+``PRA_ACT`` is the paper's new command: a row activation accompanied by
+an 8-bit PRA mask (delivered over the address bus in the following
+cycle) that opens only the selected MAT groups of the row.
+
+``Request`` is the unit of work entering the memory controller: a 64 B
+cache-line read or write.  Write requests carry the fine-grained dirty
+mask (one bit per 8 B word) produced by the FGD cache hierarchy; the
+controller turns that mask into the PRA mask of the activation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.geometry import FULL_MASK
+
+
+class Command(enum.Enum):
+    """Device-level DRAM commands."""
+
+    ACT = "ACT"
+    PRA_ACT = "PRA_ACT"
+    READ = "READ"
+    WRITE = "WRITE"
+    PRE = "PRE"
+    REFRESH = "REFRESH"
+
+
+class ReqKind(enum.Enum):
+    """Kind of memory request seen by the controller."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+_req_ids = itertools.count()
+
+
+@dataclass
+class Address:
+    """A fully decoded DRAM address."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+    def same_row(self, other: "Address") -> bool:
+        """True when both addresses fall in the same DRAM row."""
+        return (
+            self.channel == other.channel
+            and self.rank == other.rank
+            and self.bank == other.bank
+            and self.row == other.row
+        )
+
+    @property
+    def bank_key(self) -> tuple:
+        """Hashable identity of the bank this address maps to."""
+        return (self.channel, self.rank, self.bank)
+
+
+@dataclass
+class Request:
+    """A cache-line-sized memory request.
+
+    ``dirty_mask`` is meaningful for writes only: bit *i* set means word
+    *i* of the line is dirty and must be written to DRAM.  A full mask
+    (0xFF) means the entire line is dirty.  Reads always carry a full
+    mask because a read must return the whole line.
+    """
+
+    kind: ReqKind
+    addr: Address
+    arrive_cycle: int
+    dirty_mask: int = FULL_MASK
+    core_id: int = 0
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+    #: Cycle at which the request finished (data returned / written).
+    complete_cycle: Optional[int] = None
+    #: Maintained by the controller queues: True once the request has
+    #: been serviced and lazily removed.
+    served: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is ReqKind.READ:
+            self.dirty_mask = FULL_MASK
+        if not 0 < self.dirty_mask <= FULL_MASK:
+            raise ValueError(
+                f"dirty_mask must be in (0, {FULL_MASK:#x}], got {self.dirty_mask:#x}"
+            )
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is ReqKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is ReqKind.WRITE

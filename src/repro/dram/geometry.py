@@ -1,0 +1,126 @@
+"""Physical geometry of the DRAM system.
+
+The baseline device throughout the paper (and this reproduction) is a
+2Gb x8 DDR3-1600 chip (Samsung K4B2G0846E class):
+
+* 8 banks per chip,
+* 32k rows x 1k columns per bank,
+* each bank tiled into 64 sub-arrays of 16 MATs,
+* each MAT a 512 x 512 cell matrix.
+
+Eight such chips form a 64-bit rank; two ranks share a channel; the
+baseline system has two channels (8 GB total, Table 3 of the paper).
+
+A 64 B cache line is striped so that each chip receives one byte of every
+8 B word, and inside a chip each byte splits into two nibbles, one per
+MAT.  Two adjacent MATs therefore hold one *word lane* of the cache line,
+which is exactly the minimum activation granularity of PRA (one bit of
+the 8-bit PRA mask controls a group of two MATs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of 8-byte words in a cache line; also the width of a PRA mask.
+WORDS_PER_LINE = 8
+
+#: Bytes in a cache line (fixed at 64 B throughout the paper).
+LINE_BYTES = 64
+
+#: Bytes per word (the data-bus width of a rank).
+WORD_BYTES = 8
+
+#: A PRA mask with every MAT group selected (full-row activation).
+FULL_MASK = (1 << WORDS_PER_LINE) - 1
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """Geometry of a single DRAM chip.
+
+    Attributes mirror Section 2.1.1 of the paper.  ``device_width`` is the
+    chip I/O width in bits (x8 for the baseline part) and
+    ``burst_length`` the number of beats per column access (8 for DDR3).
+    """
+
+    banks: int = 8
+    rows: int = 32768
+    columns: int = 1024
+    device_width: int = 8
+    burst_length: int = 8
+    subarrays_per_bank: int = 64
+    mats_per_subarray: int = 16
+    mat_rows: int = 512
+    mat_cols: int = 512
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total chip capacity in bits."""
+        return self.banks * self.rows * self.columns * self.device_width
+
+    @property
+    def row_bits(self) -> int:
+        """Bits in one chip row (the unit the row buffer senses)."""
+        return self.columns * self.device_width
+
+    @property
+    def rows_per_subarray(self) -> int:
+        return self.rows // self.subarrays_per_bank
+
+    @property
+    def mat_groups(self) -> int:
+        """Number of independently-maskable MAT groups (2 MATs each)."""
+        return self.mats_per_subarray // 2
+
+
+@dataclass(frozen=True)
+class SystemGeometry:
+    """Geometry of the whole DRAM system (channels/ranks/chips).
+
+    The default values reproduce the baseline of Table 3: 8 GB over
+    2 channels x 2 ranks x 8 chips with a 64-bit data bus per channel.
+    """
+
+    channels: int = 2
+    ranks_per_channel: int = 2
+    chips_per_rank: int = 8
+    chip: ChipGeometry = ChipGeometry()
+
+    @property
+    def bus_bytes(self) -> int:
+        """Data-bus width of a channel in bytes."""
+        return self.chips_per_rank * self.chip.device_width // 8
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total system capacity in bytes."""
+        total_bits = (
+            self.channels
+            * self.ranks_per_channel
+            * self.chips_per_rank
+            * self.chip.capacity_bits
+        )
+        return total_bits // 8
+
+    @property
+    def row_buffer_bytes(self) -> int:
+        """Rank-level row size in bytes (8 KB for the baseline)."""
+        return self.chips_per_rank * self.chip.row_bits // 8
+
+    @property
+    def lines_per_row(self) -> int:
+        """Number of 64 B cache lines held by one rank-level row."""
+        return self.row_buffer_bytes // LINE_BYTES
+
+    @property
+    def banks(self) -> int:
+        return self.chip.banks
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.chip.banks
+
+
+#: Baseline geometry used throughout the paper's evaluation.
+BASELINE_GEOMETRY = SystemGeometry()

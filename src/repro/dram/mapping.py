@@ -1,0 +1,155 @@
+"""Physical-address to DRAM-coordinate mapping, and line data mapping.
+
+Two interleaving schemes from the paper's methodology (Section 5.1.2):
+
+* **row-interleaved** — consecutive cache lines fill a DRAM row before
+  moving to the next channel/bank.  Used with the relaxed close-page
+  policy; preserves row-buffer locality of streaming accesses.
+* **line-interleaved** — consecutive cache lines are spread over
+  channels, then banks, then ranks.  Used with the restricted
+  close-page policy; maximizes bank/channel parallelism.
+
+Also implements the intra-line data mapping of Figure 1: word *i* of a
+cache line is distributed one byte per chip, and within each chip the
+byte's two nibbles occupy the two MATs of MAT group *i*.  This is what
+lets one bit of the PRA mask gate exactly one word lane.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.commands import Address
+from repro.dram.geometry import LINE_BYTES, WORD_BYTES, SystemGeometry
+
+
+class Interleaving(enum.Enum):
+    ROW = "row-interleaved"
+    LINE = "line-interleaved"
+
+
+def _bits(value: int) -> int:
+    """Number of address bits needed for ``value`` distinct items."""
+    if value <= 0:
+        raise ValueError("need a positive item count")
+    return (value - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Decodes byte addresses into (channel, rank, bank, row, column).
+
+    ``column`` in the produced :class:`Address` is the *line-level*
+    column index (0 .. lines_per_row - 1); the device moves a whole
+    64 B line per column access burst.
+    """
+
+    geometry: SystemGeometry = SystemGeometry()
+    interleaving: Interleaving = Interleaving.ROW
+    #: XOR-permute the bank index with low row bits.  Spreads strided
+    #: streams that would otherwise camp on one bank (an extension,
+    #: not a paper configuration; self-inverse, so encode/decode stay
+    #: exact round trips).
+    xor_bank_hash: bool = False
+
+    def __post_init__(self) -> None:
+        geo = self.geometry
+        object.__setattr__(self, "_ch_bits", _bits(geo.channels))
+        object.__setattr__(self, "_rk_bits", _bits(geo.ranks_per_channel))
+        object.__setattr__(self, "_ba_bits", _bits(geo.chip.banks))
+        object.__setattr__(self, "_co_bits", _bits(geo.lines_per_row))
+        object.__setattr__(self, "_ro_bits", _bits(geo.chip.rows))
+
+    @property
+    def line_capacity(self) -> int:
+        """Total number of cache lines the system can hold."""
+        return self.geometry.capacity_bytes // LINE_BYTES
+
+    def decode_line(self, line_index: int) -> Address:
+        """Decode a cache-line index into DRAM coordinates."""
+        if line_index < 0:
+            raise ValueError("line index must be non-negative")
+        line_index %= self.line_capacity
+        geo = self.geometry
+        v = line_index
+        if self.interleaving is Interleaving.ROW:
+            # offset | column | channel | bank | rank | row
+            column = v % geo.lines_per_row
+            v //= geo.lines_per_row
+            channel = v % geo.channels
+            v //= geo.channels
+            bank = v % geo.chip.banks
+            v //= geo.chip.banks
+            rank = v % geo.ranks_per_channel
+            v //= geo.ranks_per_channel
+            row = v % geo.chip.rows
+        else:
+            # offset | channel | bank | rank | column | row
+            channel = v % geo.channels
+            v //= geo.channels
+            bank = v % geo.chip.banks
+            v //= geo.chip.banks
+            rank = v % geo.ranks_per_channel
+            v //= geo.ranks_per_channel
+            column = v % geo.lines_per_row
+            v //= geo.lines_per_row
+            row = v % geo.chip.rows
+        if self.xor_bank_hash:
+            bank ^= row % geo.chip.banks
+        return Address(channel=channel, rank=rank, bank=bank, row=row, column=column)
+
+    def decode(self, byte_addr: int) -> Address:
+        """Decode a physical byte address."""
+        return self.decode_line(byte_addr // LINE_BYTES)
+
+    def encode_line(self, addr: Address) -> int:
+        """Inverse of :meth:`decode_line` (used by tests and DBI)."""
+        geo = self.geometry
+        bank = addr.bank
+        if self.xor_bank_hash:
+            bank ^= addr.row % geo.chip.banks
+        addr = Address(channel=addr.channel, rank=addr.rank, bank=bank,
+                       row=addr.row, column=addr.column)
+        if self.interleaving is Interleaving.ROW:
+            v = addr.row
+            v = v * geo.ranks_per_channel + addr.rank
+            v = v * geo.chip.banks + addr.bank
+            v = v * geo.channels + addr.channel
+            v = v * geo.lines_per_row + addr.column
+        else:
+            v = addr.row
+            v = v * geo.lines_per_row + addr.column
+            v = v * geo.ranks_per_channel + addr.rank
+            v = v * geo.chip.banks + addr.bank
+            v = v * geo.channels + addr.channel
+        return v
+
+    def row_key(self, addr: Address) -> tuple:
+        """Hashable identity of the DRAM row an address falls in."""
+        return (addr.channel, addr.rank, addr.bank, addr.row)
+
+
+def word_index_to_mat_group(word: int) -> int:
+    """MAT group (within every chip of the rank) that stores ``word``.
+
+    Per Figure 1, word *i* of a cache line maps to MAT group *i*: the
+    identity map.  Kept as a function so alternative intra-line
+    mappings can be studied.
+    """
+    if not 0 <= word < LINE_BYTES // WORD_BYTES:
+        raise ValueError(f"word index out of range: {word}")
+    return word
+
+
+def dirty_words_to_mask(dirty_words: "list[int] | tuple[int, ...]") -> int:
+    """Build a PRA mask from a collection of dirty word indices."""
+    mask = 0
+    for word in dirty_words:
+        mask |= 1 << word_index_to_mat_group(word)
+    return mask
+
+
+def mats_activated(mask: int, mats_per_group: int = 2) -> int:
+    """Number of MATs opened by an activation with ``mask``."""
+    return bin(mask).count("1") * mats_per_group

@@ -1,0 +1,246 @@
+"""Independent DDR3 protocol checker (differential verification).
+
+The scheduler in :mod:`repro.controller.memctrl` enforces timing through
+the Bank/Rank ``can_*`` predicates.  This module re-implements the DDR3
+rules *independently*, from the command stream alone, so tests can
+attach a :class:`ProtocolChecker` to a controller and fail on any
+violation the scheduler lets through — classic differential testing,
+the same role DRAMSim2's internal checker plays for the original paper.
+
+Checked rules (per the JEDEC DDR3 core set + the paper's PRA extension):
+
+* ACT only to a precharged bank; one open row per bank,
+* tRCD before a column command (+1 tCK after a masked PRA activation),
+* tRAS before PRE; tRP before the next ACT; tRC between same-bank ACTs,
+* tWR after the end of a write burst before PRE; tRTP after READ,
+* tCCD between column commands anywhere in a rank,
+* tWTR from end of write burst to the next READ command in the rank,
+* tRRD between ACTs in a rank and the (optionally weighted) tFAW window,
+* column commands only to MAT groups covered by the activation mask,
+* exclusive data bus with tRTRS on rank switches,
+* command bus: at most one command per cycle; a masked ACT also owns
+  the following (mask-transfer) cycle,
+* REFRESH only with all banks precharged; rank frozen for tRFC.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.geometry import FULL_MASK
+from repro.dram.timing import TimingParams
+
+
+class ProtocolViolation(AssertionError):
+    """A DDR3 timing or state rule was broken by the command stream."""
+
+
+class Cmd(enum.Enum):
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """One command as observed on the channel."""
+
+    cycle: int
+    cmd: Cmd
+    rank: int
+    bank: int = 0
+    row: Optional[int] = None
+    mask: int = FULL_MASK
+    #: Activated fraction in eighths (ACT only; weights tRRD/tFAW).
+    granularity: int = 8
+    #: True when the ACT carried a PRA mask (occupies 2 cmd cycles).
+    masked: bool = False
+    #: Data-burst window for column commands [start, end).
+    burst_start: int = 0
+    burst_end: int = 0
+    #: Needed MAT-group coverage for a column command.
+    needed_mask: int = FULL_MASK
+    #: True for precharges the controller models as command-free
+    #: (auto-precharge embedded in RDA/WRA, or the row-closure engine).
+    #: Exempt from command-bus exclusivity, still timing-checked.
+    implicit: bool = False
+
+
+@dataclass
+class _BankState:
+    open_row: Optional[int] = None
+    open_mask: int = FULL_MASK
+    act_cycle: int = -(1 << 30)
+    act_masked: bool = False
+    pre_ready_floor: int = 0      # tRAS/tWR/tRTP constraints
+    next_act_ok: int = 0          # tRP / tRC
+
+
+@dataclass
+class _RankState:
+    banks: Dict[int, _BankState] = field(default_factory=dict)
+    act_history: List[Tuple[int, float]] = field(default_factory=list)
+    last_act_cycle: int = -(1 << 30)
+    last_act_weight: float = 1.0
+    next_col_ok: int = 0
+    next_read_ok: int = 0
+    frozen_until: int = 0  # refresh
+
+    def bank(self, idx: int) -> _BankState:
+        return self.banks.setdefault(idx, _BankState())
+
+
+class ProtocolChecker:
+    """Validates a stream of :class:`CommandRecord` against DDR3 rules."""
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        relax_act_constraints: bool = False,
+        faw_budget: float = 4.0,
+    ) -> None:
+        self.timing = timing
+        self.relax = relax_act_constraints
+        self.faw_budget = faw_budget
+        self._ranks: Dict[int, _RankState] = {}
+        self._cmd_bus_free = 0
+        self._data_bus_free = 0
+        self._data_bus_rank = -1
+        self.commands_checked = 0
+        self.log: List[CommandRecord] = []
+
+    def _rank(self, idx: int) -> _RankState:
+        return self._ranks.setdefault(idx, _RankState())
+
+    def _fail(self, record: CommandRecord, rule: str) -> None:
+        raise ProtocolViolation(
+            f"{rule} violated by {record.cmd.value} at cycle {record.cycle} "
+            f"(rank {record.rank}, bank {record.bank})"
+        )
+
+    # ------------------------------------------------------------------
+    def observe(self, record: CommandRecord) -> None:
+        """Check one command and update shadow state."""
+        self.commands_checked += 1
+        self.log.append(record)
+        t = self.timing
+        cycle = record.cycle
+        rank = self._rank(record.rank)
+
+        # Command bus: one command per cycle (2 for a masked ACT).
+        if not record.implicit and cycle < self._cmd_bus_free:
+            self._fail(record, "command-bus exclusivity")
+
+        if cycle < rank.frozen_until:
+            self._fail(record, "tRFC (rank frozen by refresh)")
+
+        handler = {
+            Cmd.ACT: self._check_act,
+            Cmd.PRE: self._check_pre,
+            Cmd.RD: self._check_col,
+            Cmd.WR: self._check_col,
+            Cmd.REF: self._check_ref,
+        }[record.cmd]
+        handler(record, rank)
+
+        if not record.implicit:
+            self._cmd_bus_free = cycle + (
+                2 if record.cmd is Cmd.ACT and record.masked else 1
+            )
+
+    # ------------------------------------------------------------------
+    def _act_weight(self, granularity: int) -> float:
+        return granularity / 8.0 if self.relax else 1.0
+
+    def _check_act(self, record: CommandRecord, rank: _RankState) -> None:
+        t = self.timing
+        cycle = record.cycle
+        bank = rank.bank(record.bank)
+        if bank.open_row is not None:
+            self._fail(record, "ACT to an open bank")
+        if cycle < bank.next_act_ok:
+            self._fail(record, "tRP/tRC")
+        # tRRD against the previous ACT in this rank.
+        trrd = t.trrd
+        if self.relax:
+            trrd = max(2, math.ceil(t.trrd * rank.last_act_weight))
+        if cycle - rank.last_act_cycle < trrd:
+            self._fail(record, "tRRD")
+        # tFAW sliding window (weighted under PRA/Half-DRAM relaxation).
+        weight = self._act_weight(record.granularity)
+        window = [
+            (c, w) for c, w in rank.act_history if c > cycle - t.tfaw
+        ]
+        if sum(w for _, w in window) + weight > self.faw_budget + 1e-9:
+            self._fail(record, "tFAW")
+        window.append((cycle, weight))
+        rank.act_history = window
+        rank.last_act_cycle = cycle
+        rank.last_act_weight = weight
+
+        if not 0 < record.mask <= FULL_MASK:
+            self._fail(record, "activation mask validity")
+        bank.open_row = record.row
+        bank.open_mask = record.mask
+        bank.act_cycle = cycle
+        bank.act_masked = record.masked
+        bank.pre_ready_floor = cycle + t.tras
+        bank.next_act_ok = cycle + t.trc
+
+    def _check_pre(self, record: CommandRecord, rank: _RankState) -> None:
+        t = self.timing
+        bank = rank.bank(record.bank)
+        if bank.open_row is None:
+            self._fail(record, "PRE to a precharged bank")
+        if record.cycle < bank.pre_ready_floor:
+            self._fail(record, "tRAS/tWR/tRTP before PRE")
+        bank.open_row = None
+        bank.open_mask = FULL_MASK
+        bank.next_act_ok = max(bank.next_act_ok, record.cycle + t.trp)
+
+    def _check_col(self, record: CommandRecord, rank: _RankState) -> None:
+        t = self.timing
+        cycle = record.cycle
+        bank = rank.bank(record.bank)
+        if bank.open_row is None:
+            self._fail(record, "column command to a precharged bank")
+        trcd = t.trcd + (t.pra_extra if bank.act_masked else 0)
+        if cycle - bank.act_cycle < trcd:
+            self._fail(record, "tRCD (+PRA mask cycle)")
+        if cycle < rank.next_col_ok:
+            self._fail(record, "tCCD")
+        if record.needed_mask & ~bank.open_mask:
+            self._fail(record, "MAT-group coverage (false-hit service)")
+        # Data bus exclusivity and rank switch penalty.
+        start, end = record.burst_start, record.burst_end
+        if start < cycle or end <= start:
+            self._fail(record, "burst window sanity")
+        min_start = self._data_bus_free
+        if self._data_bus_rank not in (-1, record.rank):
+            min_start += t.trtrs
+        if start < min_start:
+            self._fail(record, "data-bus exclusivity / tRTRS")
+        self._data_bus_free = end
+        self._data_bus_rank = record.rank
+
+        rank.next_col_ok = cycle + t.tccd
+        if record.cmd is Cmd.RD:
+            if cycle < rank.next_read_ok:
+                self._fail(record, "tWTR")
+            bank.pre_ready_floor = max(bank.pre_ready_floor, cycle + t.trtp)
+        else:
+            bank.pre_ready_floor = max(bank.pre_ready_floor, end + t.twr)
+            rank.next_read_ok = max(rank.next_read_ok, end + t.twtr)
+
+    def _check_ref(self, record: CommandRecord, rank: _RankState) -> None:
+        for bank in rank.banks.values():
+            if bank.open_row is not None:
+                self._fail(record, "REFRESH with open banks")
+        rank.frozen_until = record.cycle + self.timing.trfc
+        for bank in rank.banks.values():
+            bank.next_act_ok = max(bank.next_act_ok, rank.frozen_until)

@@ -1,0 +1,226 @@
+"""Rank model: banks in lockstep, inter-bank timing, power-down, refresh.
+
+A rank is eight x8 chips operating in lockstep, so one :class:`Bank`
+object here stands for the same bank across all chips.  The rank owns
+the constraints that span banks:
+
+* tRRD between activations (weight-relaxed for partial activations),
+* the tFAW four-activation window (fractionally weighted under PRA),
+* tCCD between column commands and the write-to-read turnaround,
+* precharge power-down entry/exit,
+* periodic refresh.
+
+The rank also integrates background-state residency (active standby /
+precharge standby / precharge power-down) for the power model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.dram.bank import ActivationWindow, Bank, BankStateError
+from repro.dram.timing import TimingParams
+
+
+class Rank:
+    """One rank of DRAM chips and its inter-bank constraints."""
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        num_banks: int = 8,
+        relax_act_constraints: bool = False,
+    ) -> None:
+        self.timing = timing
+        self.banks: List[Bank] = [Bank(timing) for _ in range(num_banks)]
+        self.faw = ActivationWindow(tfaw=timing.tfaw)
+        #: Whether partial/half activations relax tRRD and tFAW.
+        self.relax_act_constraints = relax_act_constraints
+        #: Earliest cycle the next ACT (any bank) may issue (tRRD).
+        self.next_act_ok: int = 0
+        #: Earliest cycle the next column command (any bank) may issue.
+        self.next_col_ok: int = 0
+        #: Earliest cycle a READ may issue (write-to-read turnaround).
+        self.next_read_ok: int = 0
+        #: Earliest cycle a WRITE may issue (DM-pin mask delivery holds
+        #: the chip write buffers until the activation completes).
+        self.next_write_ok: int = 0
+        #: True while the rank sits in precharge power-down.
+        self.powered_down: bool = False
+        #: Earliest cycle a command may issue after power-down exit.
+        self.pd_exit_ready: int = 0
+        #: Deadline of the next refresh.
+        self.next_refresh: int = timing.trefi
+        #: Cycle until which an in-flight refresh blocks the rank.
+        self.refresh_until: int = 0
+        # Background residency integration.
+        self._bg_last_cycle: int = 0
+        self.bg_residency: Dict[str, int] = {
+            "act_stby": 0,
+            "pre_stby": 0,
+            "pre_pdn": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Background state accounting
+    # ------------------------------------------------------------------
+    def _bg_state(self) -> str:
+        if any(bank.is_open for bank in self.banks):
+            return "act_stby"
+        if self.powered_down:
+            return "pre_pdn"
+        return "pre_stby"
+
+    def accrue_background(self, cycle: int) -> None:
+        """Charge elapsed cycles to the current background state.
+
+        Must be called *before* any state-changing operation and once at
+        the end of simulation.
+        """
+        delta = cycle - self._bg_last_cycle
+        if delta > 0:
+            self.bg_residency[self._bg_state()] += delta
+            self._bg_last_cycle = cycle
+
+    # ------------------------------------------------------------------
+    # Power-down
+    # ------------------------------------------------------------------
+    @property
+    def all_precharged(self) -> bool:
+        return not any(bank.is_open for bank in self.banks)
+
+    def enter_power_down(self, cycle: int) -> None:
+        """Enter precharge power-down (all banks must be closed)."""
+        if not self.all_precharged:
+            raise BankStateError("precharge power-down requires all banks closed")
+        if not self.powered_down:
+            self.accrue_background(cycle)
+            self.powered_down = True
+
+    def exit_power_down(self, cycle: int) -> int:
+        """Leave power-down; returns the cycle commands become legal."""
+        if self.powered_down:
+            self.accrue_background(cycle)
+            self.powered_down = False
+            self.pd_exit_ready = cycle + self.timing.txp
+        return self.pd_exit_ready
+
+    def command_gate(self, cycle: int) -> int:
+        """Earliest cycle any command may issue (PD exit / refresh)."""
+        gate = max(self.pd_exit_ready, self.refresh_until)
+        return max(gate, cycle)
+
+    # ------------------------------------------------------------------
+    # Activation constraints
+    # ------------------------------------------------------------------
+    def _act_weight(self, granularity_eighths: int) -> float:
+        if not self.relax_act_constraints:
+            return 1.0
+        return granularity_eighths / 8.0
+
+    def can_activate(self, cycle: int, bank: int, granularity_eighths: int = 8) -> bool:
+        """True when an ACT of the given granularity is legal now."""
+        if self.powered_down or cycle < self.command_gate(cycle):
+            return False
+        weight = self._act_weight(granularity_eighths)
+        return (
+            cycle >= self.next_act_ok
+            and self.banks[bank].can_activate(cycle)
+            and self.faw.can_activate(cycle, weight)
+        )
+
+    def earliest_activate(self, cycle: int, bank: int, granularity_eighths: int = 8) -> int:
+        """Lower bound on the cycle the ACT could issue (for skip-ahead)."""
+        weight = self._act_weight(granularity_eighths)
+        t = max(
+            cycle,
+            self.next_act_ok,
+            self.banks[bank].act_ready,
+            self.command_gate(cycle),
+        )
+        return max(t, self.faw.next_allowed(t, weight))
+
+    def record_activate(self, cycle: int, granularity_eighths: int) -> None:
+        """Update tRRD/tFAW bookkeeping after an ACT was issued."""
+        weight = self._act_weight(granularity_eighths)
+        trrd = self.timing.trrd
+        if self.relax_act_constraints:
+            trrd = max(2, math.ceil(trrd * weight))
+        self.next_act_ok = cycle + trrd
+        self.faw.record(cycle, weight)
+
+    # ------------------------------------------------------------------
+    # Column constraints
+    # ------------------------------------------------------------------
+    def can_read(self, cycle: int, bank: int) -> bool:
+        """True when a column READ to the bank is legal now."""
+        return (
+            not self.powered_down
+            and cycle >= self.command_gate(cycle)
+            and cycle >= self.next_col_ok
+            and cycle >= self.next_read_ok
+            and self.banks[bank].can_column(cycle)
+        )
+
+    def can_write(self, cycle: int, bank: int) -> bool:
+        """True when a column WRITE to the bank is legal now."""
+        return (
+            not self.powered_down
+            and cycle >= self.command_gate(cycle)
+            and cycle >= self.next_col_ok
+            and cycle >= self.next_write_ok
+            and self.banks[bank].can_column(cycle)
+        )
+
+    def earliest_read(self, cycle: int, bank: int) -> int:
+        """Lower bound on the next legal READ cycle (skip-ahead hint)."""
+        return max(
+            cycle,
+            self.next_col_ok,
+            self.next_read_ok,
+            self.banks[bank].col_ready,
+            self.command_gate(cycle),
+        )
+
+    def earliest_write(self, cycle: int, bank: int) -> int:
+        """Lower bound on the next legal WRITE cycle (skip-ahead hint)."""
+        return max(
+            cycle,
+            self.next_col_ok,
+            self.next_write_ok,
+            self.banks[bank].col_ready,
+            self.command_gate(cycle),
+        )
+
+    def record_read(self, cycle: int) -> None:
+        self.next_col_ok = cycle + self.timing.tccd
+
+    def record_write(self, cycle: int, burst_end: int) -> None:
+        self.next_col_ok = cycle + self.timing.tccd
+        self.next_read_ok = max(self.next_read_ok, burst_end + self.timing.twtr)
+
+    def hold_write_buffer(self, until_cycle: int) -> None:
+        """Block further writes until ``until_cycle`` (DM-pin delivery)."""
+        self.next_write_ok = max(self.next_write_ok, until_cycle)
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def refresh_due(self, cycle: int) -> bool:
+        return cycle >= self.next_refresh
+
+    def do_refresh(self, cycle: int) -> None:
+        """Issue an all-bank refresh; rank must be fully precharged."""
+        if not self.all_precharged:
+            raise BankStateError("refresh with open banks")
+        self.accrue_background(cycle)
+        for bank in self.banks:
+            bank.block_for_refresh(cycle)
+        self.refresh_until = cycle + self.timing.trfc
+        self.next_refresh += self.timing.trefi
+        # Bound catch-up after long idle skips: DDR3 allows deferring at
+        # most 8 refreshes, so don't bunch more than that.
+        lag_floor = cycle - 8 * self.timing.trefi
+        if self.next_refresh < lag_floor:
+            self.next_refresh = lag_floor

@@ -1,0 +1,36 @@
+"""DRAM power modelling: IDD equations, CACTI-style energy model, accounting.
+
+Together these replace the paper's use of the Micron DDR3 power
+calculator and CACTI-3DD.
+"""
+
+from repro.power.accounting import CATEGORIES, PowerAccountant, PowerBreakdown
+from repro.power.energy_model import (
+    ActivationEnergyModel,
+    DieAreaModel,
+    FGDOverheadModel,
+    MATS_PER_SUBARRAY,
+)
+from repro.power.idd import (
+    activation_energy_pj,
+    pure_activation_current_ma,
+    pure_activation_power_mw,
+)
+from repro.power.params import DDR3_1600_POWER, TABLE3_ACT_MW, IDDValues, PowerParams
+
+__all__ = [
+    "activation_energy_pj",
+    "ActivationEnergyModel",
+    "CATEGORIES",
+    "DDR3_1600_POWER",
+    "DieAreaModel",
+    "FGDOverheadModel",
+    "IDDValues",
+    "MATS_PER_SUBARRAY",
+    "PowerAccountant",
+    "PowerBreakdown",
+    "PowerParams",
+    "pure_activation_current_ma",
+    "pure_activation_power_mw",
+    "TABLE3_ACT_MW",
+]

@@ -1,0 +1,191 @@
+"""Runtime DRAM power/energy accounting (Micron power-calculator style).
+
+The simulator reports events (activations with their granularity, read
+and write bursts with the fraction of bytes actually driven, refreshes)
+and background residencies; the accountant converts them to energy per
+category and produces the breakdowns used by Figures 2 and 12 and the
+energy/EDP results of Figure 13.
+
+Categories follow Figure 2 of the paper:
+
+* ``act_pre`` — row activation + bank precharge pairs,
+* ``rd`` / ``wr`` — column-access core power,
+* ``rd_io`` — read I/O + read termination,
+* ``wr_io`` — write ODT + write termination,
+* ``bg`` — background standby/power-down,
+* ``ref`` — refresh.
+
+Energies are tracked in pJ; reported in mJ / mW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.dram.timing import TimingParams
+from repro.power.params import PowerParams
+
+#: Breakdown category names in the order of Figure 2.
+CATEGORIES = ("act_pre", "rd", "wr", "rd_io", "wr_io", "bg", "ref")
+
+
+@dataclass
+class PowerBreakdown:
+    """Energy per category plus derived powers and fractions."""
+
+    energy_pj: Dict[str, float]
+    runtime_ns: float
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.energy_pj.values())
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_pj * 1e-9
+
+    def energy_mj(self, category: str) -> float:
+        return self.energy_pj[category] * 1e-9
+
+    def power_mw(self, category: str) -> float:
+        if self.runtime_ns <= 0:
+            return 0.0
+        return self.energy_pj[category] / self.runtime_ns
+
+    @property
+    def total_power_mw(self) -> float:
+        """Average total DRAM power over the run (mW)."""
+        if self.runtime_ns <= 0:
+            return 0.0
+        return self.total_pj / self.runtime_ns
+
+    def fraction(self, category: str) -> float:
+        total = self.total_pj
+        return self.energy_pj[category] / total if total else 0.0
+
+    def fractions(self) -> Dict[str, float]:
+        return {c: self.fraction(c) for c in CATEGORIES}
+
+    def as_dict_mw(self) -> Dict[str, float]:
+        return {c: self.power_mw(c) for c in CATEGORIES}
+
+
+class PowerAccountant:
+    """Accumulates DRAM energy from simulator events.
+
+    One accountant covers the whole DRAM system; per-chip parameter
+    values are multiplied by ``chips_per_rank`` internally.
+    """
+
+    def __init__(
+        self,
+        params: PowerParams,
+        timing: TimingParams,
+        chips_per_rank: int = 8,
+        scale_wr_core_with_mask: bool = True,
+        ecc_chips: int = 0,
+    ) -> None:
+        self.params = params
+        self.timing = timing
+        self.chips_per_rank = chips_per_rank
+        #: Extra chips storing ECC codes (x72 DIMMs).  Per Section 4.2
+        #: an ECC chip's PRA pin is tied off, so it always performs
+        #: full-row activations and receives/sends full bursts.
+        self.ecc_chips = ecc_chips
+        #: Whether the core write power scales with the driven-byte
+        #: fraction under PRA (unselected MATs see "don't care" data).
+        self.scale_wr_core_with_mask = scale_wr_core_with_mask
+        self.energy_pj: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        # Event counters (useful for stats and tests).
+        self.activations_by_granularity: Dict[int, int] = {g: 0 for g in range(1, 9)}
+        self.read_bursts = 0
+        self.write_bursts = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def _burst_ns(self) -> float:
+        return self.timing.cycles_to_ns(self.timing.tburst)
+
+    def on_activate(self, granularity_eighths: int) -> None:
+        """One ACT-PRE pair at the given granularity (rank-wide)."""
+        self.activations_by_granularity[granularity_eighths] += 1
+        power = self.params.act_power(granularity_eighths)
+        energy = power * self.timing.row_cycle_ns * self.chips_per_rank
+        if self.ecc_chips:
+            energy += (
+                self.params.act_power(8) * self.timing.row_cycle_ns * self.ecc_chips
+            )
+        self.energy_pj["act_pre"] += energy
+
+    def on_activate_fraction(self, fraction: float) -> None:
+        """One ACT-PRE pair opening an arbitrary fraction of the row.
+
+        Used by Half-DRAM (0.5) and Half-DRAM + PRA (g/16); the
+        granularity histogram buckets by the nearest eighth (min 1).
+        """
+        bucket = min(8, max(1, round(fraction * 8)))
+        self.activations_by_granularity[bucket] += 1
+        power = self.params.act_power_fraction(fraction)
+        energy = power * self.timing.row_cycle_ns * self.chips_per_rank
+        if self.ecc_chips:
+            energy += (
+                self.params.act_power(8) * self.timing.row_cycle_ns * self.ecc_chips
+            )
+        self.energy_pj["act_pre"] += energy
+
+    def on_read_burst(self, other_ranks: int = 1) -> None:
+        """One cache-line read burst from a rank."""
+        self.read_bursts += 1
+        chips = self.chips_per_rank + self.ecc_chips
+        burst = self._burst_ns
+        self.energy_pj["rd"] += self.params.rd_mw * burst * chips
+        io = self.params.rd_io_mw * burst * chips
+        io += self.params.rd_term_mw * burst * chips * other_ranks
+        self.energy_pj["rd_io"] += io * self.params.io_scale
+
+    def on_write_burst(self, driven_fraction: float = 1.0, other_ranks: int = 1) -> None:
+        """One cache-line write burst to a rank.
+
+        ``driven_fraction`` is the share of bytes actually driven on
+        the bus: under PRA only the dirty words are transferred, so
+        ODT/termination (and optionally core write) energy scale down.
+        """
+        if not 0.0 < driven_fraction <= 1.0:
+            raise ValueError(f"driven_fraction must be in (0, 1], got {driven_fraction}")
+        self.write_bursts += 1
+        chips = self.chips_per_rank
+        ecc = self.ecc_chips
+        burst = self._burst_ns
+        core_fraction = driven_fraction if self.scale_wr_core_with_mask else 1.0
+        self.energy_pj["wr"] += self.params.wr_mw * burst * (
+            chips * core_fraction + ecc
+        )
+        io = self.params.wr_odt_mw * burst * (chips * driven_fraction + ecc)
+        io += self.params.wr_term_mw * burst * other_ranks * (
+            chips * driven_fraction + ecc
+        )
+        self.energy_pj["wr_io"] += io * self.params.io_scale
+
+    def on_refresh(self) -> None:
+        """One all-bank refresh of a rank (duration tRFC)."""
+        self.refreshes += 1
+        trfc_ns = self.timing.cycles_to_ns(self.timing.trfc)
+        chips = self.chips_per_rank + self.ecc_chips
+        self.energy_pj["ref"] += self.params.ref_mw * trfc_ns * chips
+
+    def add_background(self, residency_cycles: Dict[str, int]) -> None:
+        """Charge one rank's background residency (from ``Rank``)."""
+        tck = self.timing.tck_ns
+        chips = self.chips_per_rank + self.ecc_chips
+        p = self.params
+        self.energy_pj["bg"] += residency_cycles.get("act_stby", 0) * tck * p.act_stby_mw * chips
+        self.energy_pj["bg"] += residency_cycles.get("pre_stby", 0) * tck * p.pre_stby_mw * chips
+        self.energy_pj["bg"] += residency_cycles.get("pre_pdn", 0) * tck * p.pre_pdn_mw * chips
+
+    # ------------------------------------------------------------------
+    def breakdown(self, runtime_cycles: int) -> PowerBreakdown:
+        """Finalize into a :class:`PowerBreakdown` for a run length."""
+        runtime_ns = self.timing.cycles_to_ns(runtime_cycles)
+        return PowerBreakdown(energy_pj=dict(self.energy_pj), runtime_ns=runtime_ns)

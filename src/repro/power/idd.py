@@ -1,0 +1,36 @@
+"""IDD-based activation power, Equations 1 and 2 of the paper.
+
+The pure row-activation power is extracted from datasheet currents by
+subtracting the background current drawn during the row cycle:
+
+    I_ACT = IDD0 - (IDD3N * tRAS + IDD2N * (tRC - tRAS)) / tRC     (Eq. 1)
+    P_ACT = VDD * I_ACT                                            (Eq. 2)
+
+IDD0 is the activate current averaged over back-to-back row cycles,
+IDD3N the active-standby current (at least one bank open, i.e. during
+tRAS) and IDD2N the precharge-standby current (during tRC - tRAS).
+"""
+
+from __future__ import annotations
+
+from repro.power.params import IDDValues
+
+
+def pure_activation_current_ma(idd: IDDValues) -> float:
+    """Eq. 1: background-corrected activation current in mA."""
+    if idd.trc_ns <= 0 or not 0 < idd.tras_ns <= idd.trc_ns:
+        raise ValueError("need 0 < tRAS <= tRC")
+    background = (
+        idd.idd3n * idd.tras_ns + idd.idd2n * (idd.trc_ns - idd.tras_ns)
+    ) / idd.trc_ns
+    return idd.idd0 - background
+
+
+def pure_activation_power_mw(idd: IDDValues) -> float:
+    """Eq. 2: pure row-activation power in mW."""
+    return idd.vdd * pure_activation_current_ma(idd)
+
+
+def activation_energy_pj(idd: IDDValues) -> float:
+    """Energy of one ACT-PRE pair implied by Eq. 1-2 (per chip, pJ)."""
+    return pure_activation_power_mw(idd) * idd.trc_ns

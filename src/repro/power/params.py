@@ -1,0 +1,171 @@
+"""DRAM power parameters (Table 3 of the paper).
+
+All values are *per chip* in milliwatts, following the Micron
+TN-41-01 power-calculator convention the paper uses:
+
+* ``act`` powers are the average power of back-to-back ACT-PRE pairs at
+  the minimum row cycle tRC, so one activation costs
+  ``act[g] * tRC`` (mW x ns = pJ) of energy;
+* ``rd``/``wr`` are the core burst powers at 100 % data-bus
+  utilization, so one line transfer costs ``rd * t_burst`` of energy;
+* ``rd_io``/``wr_odt`` are the I/O powers of the rank driving or
+  receiving data, and ``rd_term``/``wr_term`` the termination powers
+  dissipated in *each other rank* sharing the channel;
+* background powers are charged by residency (active standby,
+  precharge standby, precharge power-down);
+* ``ref`` is the power drawn during a refresh operation (duration
+  tRFC, every tREFI).
+
+``act_mw`` indexes activation power by granularity in eighths of a row
+(index 1 = one-eighth row .. 8 = full row), reproducing the ACT row of
+Table 3: 3.7 .. 22.2 mW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: ACT-PRE power (mW) by granularity in eighths, per Table 3.
+TABLE3_ACT_MW: Dict[int, float] = {
+    8: 22.2,
+    7: 19.6,
+    6: 16.9,
+    5: 14.3,
+    4: 11.6,
+    3: 9.1,
+    2: 6.4,
+    1: 3.7,
+}
+
+
+@dataclass(frozen=True)
+class IDDValues:
+    """Datasheet currents (mA) used by Eq. 1-2 of the paper.
+
+    IDD0 is chosen so that Eq. 1-2 reproduce the paper's 22.2 mW
+    full-row activation power for the 2Gb x8 DDR3-1600 baseline part.
+    """
+
+    idd0: float = 55.67
+    idd2n: float = 38.0
+    idd3n: float = 42.0
+    vdd: float = 1.5
+    tras_ns: float = 35.0
+    trc_ns: float = 48.75
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Per-chip power parameters of the baseline DDR3-1600 part."""
+
+    #: ACT-PRE power by granularity (eighths of a row), mW.
+    act_mw: Dict[int, float] = field(default_factory=lambda: dict(TABLE3_ACT_MW))
+    rd_mw: float = 78.0
+    wr_mw: float = 93.0
+    rd_io_mw: float = 4.6
+    wr_odt_mw: float = 21.2
+    rd_term_mw: float = 15.5
+    wr_term_mw: float = 15.4
+    act_stby_mw: float = 42.0
+    pre_stby_mw: float = 27.0
+    pre_pdn_mw: float = 18.0
+    ref_mw: float = 210.0
+    #: Multiplier applied to the four I/O parameters when charging
+    #: burst I/O energy.  The Table-3 I/O values are bare per-chip DQ
+    #: figures; the paper's Figure-2 I/O shares (14 % average, 19 %
+    #: max of total DRAM power) imply the full interface energy
+    #: (DQ + DQS/DM strobes and controller-side termination) is about
+    #: 3x that, so the accountant scales by this calibration factor.
+    io_scale: float = 3.0
+    idd: IDDValues = IDDValues()
+
+    def act_power(self, granularity_eighths: int) -> float:
+        """ACT-PRE power (mW) for an activation of the given granularity."""
+        if granularity_eighths not in self.act_mw:
+            raise ValueError(f"granularity must be 1..8, got {granularity_eighths}")
+        return self.act_mw[granularity_eighths]
+
+    def act_power_fraction(self, fraction: float) -> float:
+        """ACT-PRE power (mW) for an arbitrary activated fraction.
+
+        Piecewise-linear through the Table-3 points (g/8, act_mw[g]);
+        below 1/8 (possible under Half-DRAM + PRA, where one word lane
+        is half a MAT group) the 1/8..2/8 segment is extrapolated,
+        which converges to the shared-structure intercept of the
+        Figure 9 energy curve.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        eighths = fraction * 8.0
+        low = max(1, min(7, int(eighths)))
+        high = low + 1
+        p_low, p_high = self.act_mw[low], self.act_mw[high]
+        return p_low + (eighths - low) * (p_high - p_low)
+
+    def at_voltage(self, vdd: float) -> "PowerParams":
+        """First-order voltage scaling (e.g. DDR3L at 1.35 V).
+
+        Dynamic components (activation, column access, I/O) scale with
+        VDD^2; background and refresh, dominated by DLL/peripheral and
+        leakage currents that fall roughly linearly, scale with VDD.
+        A coarse model - good for "how much would DDR3L buy on top of
+        PRA" studies, not for datasheet-accurate numbers.
+        """
+        if vdd <= 0:
+            raise ValueError("VDD must be positive")
+        base = self.idd.vdd
+        dyn = (vdd / base) ** 2
+        stat = vdd / base
+        return PowerParams(
+            act_mw={g: p * dyn for g, p in self.act_mw.items()},
+            rd_mw=self.rd_mw * dyn,
+            wr_mw=self.wr_mw * dyn,
+            rd_io_mw=self.rd_io_mw * dyn,
+            wr_odt_mw=self.wr_odt_mw * dyn,
+            rd_term_mw=self.rd_term_mw * dyn,
+            wr_term_mw=self.wr_term_mw * dyn,
+            act_stby_mw=self.act_stby_mw * stat,
+            pre_stby_mw=self.pre_stby_mw * stat,
+            pre_pdn_mw=self.pre_pdn_mw * stat,
+            ref_mw=self.ref_mw * stat,
+            io_scale=self.io_scale,
+            idd=IDDValues(
+                idd0=self.idd.idd0,
+                idd2n=self.idd.idd2n,
+                idd3n=self.idd.idd3n,
+                vdd=vdd,
+                tras_ns=self.idd.tras_ns,
+                trc_ns=self.idd.trc_ns,
+            ),
+        )
+
+    def scaled(self, act_scale: "Tuple[float, ...]") -> "PowerParams":
+        """Return params whose ACT powers are ``full * act_scale[g-1]``.
+
+        Used to derive alternative Table-3-style ACT rows from the
+        analytic energy model (see :mod:`repro.power.energy_model`).
+        """
+        if len(act_scale) != 8:
+            raise ValueError("need 8 scale factors (granularity 1..8)")
+        full = self.act_mw[8]
+        new_act = {g: full * act_scale[g - 1] for g in range(1, 9)}
+        return PowerParams(
+            act_mw=new_act,
+            rd_mw=self.rd_mw,
+            wr_mw=self.wr_mw,
+            rd_io_mw=self.rd_io_mw,
+            wr_odt_mw=self.wr_odt_mw,
+            rd_term_mw=self.rd_term_mw,
+            wr_term_mw=self.wr_term_mw,
+            act_stby_mw=self.act_stby_mw,
+            pre_stby_mw=self.pre_stby_mw,
+            pre_pdn_mw=self.pre_pdn_mw,
+            ref_mw=self.ref_mw,
+            io_scale=self.io_scale,
+            idd=self.idd,
+        )
+
+
+#: Baseline power parameters (Table 3).
+DDR3_1600_POWER = PowerParams()

@@ -1,0 +1,44 @@
+"""System assembly, configuration, experiment running and results."""
+
+from repro.sim.config import (
+    CacheConfig,
+    ControllerConfig,
+    CoreConfig,
+    SystemConfig,
+)
+from repro.sim.results import CoreResult, SimResult, normalized
+from repro.sim.runner import (
+    DEFAULT_EVENTS_PER_CORE,
+    ExperimentRunner,
+    arithmetic_mean,
+    default_events_per_core,
+    geometric_mean,
+)
+from repro.sim.sampling import EpochSample, EpochSampler, EpochSeries
+from repro.sim.sweep import Sweep
+from repro.sim.system import OVERFLOW_STALL_THRESHOLD, System, simulate
+from repro.sim.validate import ValidationError, validate_result
+
+__all__ = [
+    "arithmetic_mean",
+    "CacheConfig",
+    "ControllerConfig",
+    "CoreConfig",
+    "CoreResult",
+    "DEFAULT_EVENTS_PER_CORE",
+    "default_events_per_core",
+    "EpochSample",
+    "EpochSampler",
+    "EpochSeries",
+    "ExperimentRunner",
+    "geometric_mean",
+    "normalized",
+    "OVERFLOW_STALL_THRESHOLD",
+    "simulate",
+    "SimResult",
+    "Sweep",
+    "System",
+    "SystemConfig",
+    "ValidationError",
+    "validate_result",
+]

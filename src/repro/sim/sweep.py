@@ -1,0 +1,122 @@
+"""Parameter sweeps: run a grid of configurations, export CSV/JSON.
+
+Lightweight harness used by the sensitivity benches and available to
+users exploring the design space::
+
+    from repro.sim.sweep import Sweep
+    sweep = Sweep(events_per_core=4000)
+    sweep.add_axis("scheme", ["Baseline", "PRA", "Half-DRAM"])
+    sweep.add_axis("workload", ["GUPS", "MIX1"])
+    rows = sweep.run()
+    sweep.to_csv("results.csv")
+
+Axes:
+
+* ``scheme`` — scheme name (see :data:`repro.core.schemes.ALL_SCHEMES`),
+* ``workload`` — any of the 14 evaluation workloads,
+* ``policy`` — ``relaxed`` / ``restricted`` / ``open``,
+* ``ecc_chips`` — 0 or 1.
+
+Each grid point yields one flattened result row (the ``summary`` of
+the run plus identification columns).
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import json
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.controller.policies import RowPolicy
+from repro.core.schemes import by_name
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads.mixes import workload as lookup_workload
+
+_POLICIES = {
+    "relaxed": RowPolicy.RELAXED_CLOSE,
+    "restricted": RowPolicy.RESTRICTED_CLOSE,
+    "open": RowPolicy.OPEN_PAGE,
+}
+
+_KNOWN_AXES = ("scheme", "workload", "policy", "ecc_chips")
+
+
+class Sweep:
+    """Cartesian-product sweep over named configuration axes."""
+
+    def __init__(
+        self,
+        events_per_core: int = 4000,
+        base_config: Optional[SystemConfig] = None,
+        seed: int = 1,
+        warmup_events_per_core: Optional[int] = None,
+    ) -> None:
+        self.events_per_core = events_per_core
+        self.base_config = base_config if base_config is not None else SystemConfig()
+        self.seed = seed
+        self.warmup = warmup_events_per_core
+        self._axes: Dict[str, Sequence] = {}
+        self.rows: List[Dict] = []
+
+    def add_axis(self, name: str, values: Sequence) -> "Sweep":
+        """Add one grid axis; returns self for chaining."""
+        if name not in _KNOWN_AXES:
+            raise ValueError(f"unknown axis {name!r}; known: {_KNOWN_AXES}")
+        if not values:
+            raise ValueError(f"axis {name!r} needs at least one value")
+        self._axes[name] = list(values)
+        return self
+
+    # ------------------------------------------------------------------
+    def _config_for(self, point: Dict) -> SystemConfig:
+        config = self.base_config
+        if "scheme" in point:
+            config = config.with_scheme(by_name(point["scheme"]))
+        if "policy" in point:
+            config = config.with_policy(_POLICIES[point["policy"]])
+        if "ecc_chips" in point:
+            config = replace(config, ecc_chips=int(point["ecc_chips"]))
+        return config
+
+    def run(self) -> List[Dict]:
+        """Execute the grid; returns (and stores) one row per point."""
+        if not self._axes:
+            raise ValueError("add at least one axis before running")
+        if "workload" not in self._axes:
+            raise ValueError("a 'workload' axis is required")
+        names = list(self._axes)
+        self.rows = []
+        for combo in itertools.product(*(self._axes[n] for n in names)):
+            point = dict(zip(names, combo))
+            config = self._config_for(point)
+            result = simulate(
+                config,
+                lookup_workload(point["workload"]),
+                self.events_per_core,
+                seed=self.seed,
+                warmup_events_per_core=self.warmup,
+            )
+            row = {**point}
+            row.update(result.summary())
+            self.rows.append(row)
+        return self.rows
+
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> None:
+        """Export the grid rows as CSV."""
+        if not self.rows:
+            raise ValueError("run() the sweep before exporting")
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(self.rows[0]))
+            writer.writeheader()
+            writer.writerows(self.rows)
+
+    def to_json(self, path: str) -> None:
+        """Export the grid rows as pretty-printed JSON."""
+        if not self.rows:
+            raise ValueError("run() the sweep before exporting")
+        with open(path, "w") as handle:
+            json.dump(self.rows, handle, indent=2)

@@ -1,0 +1,374 @@
+"""Full-system simulator: cores + caches + controllers + DRAM + power.
+
+This is the reproduction's equivalent of the paper's integrated
+gem5 + DRAMSim2 platform.  The event loop ticks in DRAM command-clock
+cycles and skips idle spans using hints from the controllers, the
+cores and the pending read completions.
+
+Flow of one memory instruction:
+
+1. a core retires its instruction gap and issues the access,
+2. the cache hierarchy filters it; LLC misses produce DRAM reads
+   (fills) and dirty LLC victims produce DRAM writes carrying their
+   FGD masks,
+3. the address mapper routes each request to a channel controller,
+4. the controller schedules DRAM commands (FR-FCFS, PRA, refresh...),
+5. completed demand fills unblock the issuing core.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, List, Optional
+
+from repro.cache.dbi import DirtyBlockIndex
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.controller.memctrl import ChannelController
+from repro.controller.stats import ControllerStats
+from repro.cpu.core_model import NEVER, Core
+from repro.cpu.trace import TraceEvent
+from repro.dram.channel import Channel
+from repro.dram.commands import ReqKind, Request
+from repro.dram.mapping import AddressMapper
+from repro.power.accounting import PowerAccountant
+from repro.sim.config import SystemConfig
+from repro.sim.results import CoreResult, SimResult
+from repro.workloads.mixes import Workload
+from repro.workloads.synthetic import TraceGenerator
+
+#: Total overflow-buffer entries beyond which cores are held back.
+OVERFLOW_STALL_THRESHOLD = 128
+
+
+class System:
+    """One simulatable platform instance."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: Workload,
+        events_per_core: int,
+        seed: Optional[int] = None,
+        warmup_events_per_core: Optional[int] = None,
+        sampler=None,
+        trace_overrides: Optional[List] = None,
+    ) -> None:
+        """Build the platform.
+
+        ``warmup_events_per_core`` events are first played through the
+        cache hierarchy only (no timing), so the LLC reaches steady
+        state — without warmup a short run would see almost no dirty
+        evictions and therefore almost no DRAM write traffic.  The
+        default sizes the warmup to roughly twice the LLC capacity.
+
+        ``sampler`` may be an :class:`repro.sim.sampling.EpochSampler`
+        to record power/queue time series during the run.
+
+        ``trace_overrides`` replaces the synthetic generators with one
+        event iterable per core (e.g. traces loaded from disk via
+        :mod:`repro.workloads.trace_io`); the workload then only
+        provides core names.
+        """
+        if events_per_core <= 0:
+            raise ValueError("events_per_core must be positive")
+        self.config = config
+        self.workload = workload
+        self.events_per_core = events_per_core
+        seed = config.seed if seed is None else seed
+
+        scheme = config.scheme
+        geo = config.geometry
+        self.mapper = AddressMapper(geo, config.effective_interleaving)
+        self.accountant = PowerAccountant(
+            config.power,
+            config.timing,
+            chips_per_rank=geo.chips_per_rank,
+            ecc_chips=config.ecc_chips,
+        )
+        self.channels: List[Channel] = [
+            Channel(
+                config.timing,
+                num_ranks=geo.ranks_per_channel,
+                num_banks=geo.chip.banks,
+                relax_act_constraints=scheme.relax_act_constraints,
+                burst_cycles_multiplier=scheme.burst_multiplier,
+            )
+            for _ in range(geo.channels)
+        ]
+        ctrl_cfg = config.controller
+        self.controllers: List[ChannelController] = [
+            ChannelController(
+                channel=channel,
+                scheme=scheme,
+                timing=config.timing,
+                policy=config.policy,
+                accountant=self.accountant,
+                read_queue_size=ctrl_cfg.read_queue_size,
+                write_queue_size=ctrl_cfg.write_queue_size,
+                drain_high_watermark=ctrl_cfg.drain_high_watermark,
+                drain_low_watermark=ctrl_cfg.drain_low_watermark,
+                scan_depth=ctrl_cfg.scan_depth,
+                row_hit_cap=ctrl_cfg.row_hit_cap,
+                scheduler=ctrl_cfg.scheduler,
+            )
+            for channel in self.channels
+        ]
+
+        cache_cfg = config.cache
+        l2 = SetAssociativeCache(cache_cfg.llc_bytes, cache_cfg.llc_ways, name="L2")
+        l1s = None
+        if cache_cfg.use_l1:
+            l1s = [
+                SetAssociativeCache(cache_cfg.l1_bytes, cache_cfg.l1_ways, name=f"L1-{i}")
+                for i in range(workload.num_cores)
+            ]
+        dbi = None
+        if scheme.dbi:
+            dbi = DirtyBlockIndex(
+                row_of=lambda la: self.mapper.row_key(self.mapper.decode_line(la)),
+                max_writebacks=cache_cfg.dbi_max_writebacks,
+            )
+        self.hierarchy = CacheHierarchy(l2, l1s=l1s, dbi=dbi)
+
+        if warmup_events_per_core is None:
+            # 4x the LLC line count: random placement needs the extra
+            # margin to fill (nearly) every set to steady state.
+            llc_lines = cache_cfg.llc_bytes // 64
+            warmup_events_per_core = (4 * llc_lines) // max(1, workload.num_cores)
+        self.warmup_events_per_core = warmup_events_per_core
+
+        if trace_overrides is not None and len(trace_overrides) != workload.num_cores:
+            raise ValueError("need one trace override per core")
+
+        core_cfg = config.core
+        self.cores: List[Core] = []
+        for core_id, profile in enumerate(workload.apps):
+            if trace_overrides is not None:
+                stream = iter(trace_overrides[core_id])
+            else:
+                stream = iter(TraceGenerator(profile, seed=seed, core_id=core_id))
+            self._warm_caches(core_id, stream, warmup_events_per_core)
+            trace = islice(stream, events_per_core)
+            self.cores.append(
+                Core(
+                    core_id=core_id,
+                    trace=trace,
+                    cpu_per_mem_clock=core_cfg.cpu_per_mem_clock,
+                    nonmem_cpi=core_cfg.nonmem_cpi,
+                    max_outstanding_misses=core_cfg.max_outstanding_misses,
+                    rob_instructions=core_cfg.rob_instructions,
+                )
+            )
+        self._reset_cache_stats()
+
+        self._demand_map: Dict[int, Core] = {}
+        self._dirty_channels: int = 0
+        self.sampler = sampler
+
+    # ------------------------------------------------------------------
+    def _warm_caches(self, core_id: int, stream, events: int) -> None:
+        """Play ``events`` through the hierarchy without timing."""
+        access = self.hierarchy.access
+        for _ in range(events):
+            event = next(stream, None)
+            if event is None:
+                break
+            access(
+                core_id,
+                event.line_addr,
+                write_mask=event.write_mask,
+                fill_on_miss=not event.no_fill,
+            )
+
+    def _reset_cache_stats(self) -> None:
+        """Forget warmup statistics (content is kept)."""
+        from repro.cache.set_assoc import CacheStats
+
+        self.hierarchy.l2.stats = CacheStats()
+        if self.hierarchy.l1s:
+            for l1 in self.hierarchy.l1s:
+                l1.stats = CacheStats()
+        dbi = self.hierarchy.dbi
+        if dbi is not None:
+            dbi.proactive_writebacks = 0
+            dbi.triggers = 0
+
+    # ------------------------------------------------------------------
+    def _submit(self, req: Request) -> None:
+        channel = req.addr.channel
+        self.controllers[channel].submit(req)
+        self._dirty_channels |= 1 << channel
+
+    def _process_access(self, core: Core, event: TraceEvent, cycle: int) -> None:
+        traffic = self.hierarchy.access(
+            core.core_id,
+            event.line_addr,
+            write_mask=event.write_mask,
+            fill_on_miss=not event.no_fill,
+        )
+        demand_miss = (not event.is_store) and not traffic.demand_hit
+        for fill_addr in traffic.fills:
+            req = Request(
+                kind=ReqKind.READ,
+                addr=self.mapper.decode_line(fill_addr),
+                arrive_cycle=cycle,
+                core_id=core.core_id,
+            )
+            if demand_miss and fill_addr == event.line_addr:
+                core.note_demand_miss(req.req_id)
+                self._demand_map[req.req_id] = core
+                core.misses_issued += 1
+            self._submit(req)
+        for wb_addr, mask in traffic.writebacks:
+            self._submit(
+                Request(
+                    kind=ReqKind.WRITE,
+                    addr=self.mapper.decode_line(wb_addr),
+                    arrive_cycle=cycle,
+                    dirty_mask=mask,
+                    core_id=core.core_id,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        """Simulate to completion (or ``max_cycles``) and summarize.
+
+        The loop is event-driven: controllers batch command issue up to
+        the next *external* event (a core becoming ready or a pending
+        read completion), so the per-cycle Python overhead is paid only
+        on cycles where something can actually change.
+        """
+        cycle = 0
+        cores = self.cores
+        controllers = self.controllers
+        wake = [0] * len(controllers)
+        sampler = self.sampler
+        while True:
+            if sampler is not None:
+                sampler.maybe_sample(cycle, self)
+            # 1. Deliver completed demand fills due by now.
+            next_completion = NEVER
+            for ctrl in controllers:
+                if not ctrl.completed_reads:
+                    continue
+                remaining = []
+                for done_cycle, req in ctrl.completed_reads:
+                    if done_cycle <= cycle:
+                        core = self._demand_map.pop(req.req_id, None)
+                        if core is not None:
+                            core.on_fill_complete(req.req_id, done_cycle)
+                    else:
+                        remaining.append((done_cycle, req))
+                        if done_cycle < next_completion:
+                            next_completion = done_cycle
+                ctrl.completed_reads = remaining
+
+            # 2. Advance cores (held back under heavy backpressure).
+            total_overflow = sum(len(c.overflow) for c in controllers)
+            if total_overflow <= OVERFLOW_STALL_THRESHOLD:
+                for core in cores:
+                    while True:
+                        event = core.try_advance(cycle)
+                        if event is None:
+                            break
+                        self._process_access(core, event, cycle)
+
+            # 3. External-event horizon for controller batching.
+            limit = next_completion
+            for core in cores:
+                action = core.next_action_cycle(cycle)
+                if action < limit:
+                    limit = action
+            if limit <= cycle:
+                limit = cycle + 1
+
+            # 4. Batch-run each due channel up to the horizon.
+            dirty = self._dirty_channels
+            self._dirty_channels = 0
+            for idx, ctrl in enumerate(controllers):
+                if wake[idx] <= cycle or dirty >> idx & 1:
+                    wake[idx] = ctrl.run_until(cycle, limit)
+
+            # 5. Termination check.
+            if all(core.done for core in cores):
+                if not any(ctrl.pending for ctrl in controllers) and not any(
+                    ctrl.completed_reads for ctrl in controllers
+                ):
+                    break
+            if max_cycles is not None and cycle >= max_cycles:
+                break
+
+            # 6. Advance to the next event.
+            nxt = NEVER
+            for w in wake:
+                if w < nxt:
+                    nxt = w
+            for ctrl in controllers:
+                for done_cycle, _ in ctrl.completed_reads:
+                    if done_cycle < nxt:
+                        nxt = done_cycle
+            for core in cores:
+                action = core.next_action_cycle(cycle)
+                if action < nxt:
+                    nxt = action
+            cycle = nxt if nxt > cycle else cycle + 1
+
+        end_cycle = max([cycle] + [ctrl.local_clock for ctrl in controllers])
+        if sampler is not None:
+            sampler.finalize(end_cycle, self)
+        return self._finalize(end_cycle)
+
+    # ------------------------------------------------------------------
+    def _finalize(self, end_cycle: int) -> SimResult:
+        for ctrl in self.controllers:
+            ctrl.flush_background(end_cycle)
+        merged = ControllerStats()
+        for ctrl in self.controllers:
+            merged.merge(ctrl.stats)
+        core_results = []
+        for core, profile in zip(self.cores, self.workload.apps):
+            finish = core.finish_cycle if core.finish_cycle is not None else end_cycle
+            core_results.append(
+                CoreResult(
+                    core_id=core.core_id,
+                    app_name=profile.name,
+                    retired_instructions=core.retired,
+                    finish_cycle=finish,
+                    ipc=core.ipc(finish),
+                )
+            )
+        dbi = self.hierarchy.dbi
+        return SimResult(
+            scheme_name=self.config.scheme.name,
+            policy_name=self.config.policy.value,
+            workload_name=self.workload.name,
+            runtime_cycles=end_cycle,
+            cores=core_results,
+            controller=merged,
+            power=self.accountant.breakdown(end_cycle),
+            activation_histogram=dict(self.accountant.activations_by_granularity),
+            llc=self.hierarchy.l2.stats,
+            dirty_word_fractions=self.hierarchy.dirty_word_fractions(),
+            dbi_proactive_writebacks=dbi.proactive_writebacks if dbi else 0,
+        )
+
+
+def simulate(
+    config: SystemConfig,
+    workload: Workload,
+    events_per_core: int,
+    seed: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    warmup_events_per_core: Optional[int] = None,
+) -> SimResult:
+    """Convenience one-shot: build a :class:`System` and run it."""
+    system = System(
+        config,
+        workload,
+        events_per_core,
+        seed=seed,
+        warmup_events_per_core=warmup_events_per_core,
+    )
+    return system.run(max_cycles)

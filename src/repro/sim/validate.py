@@ -1,0 +1,92 @@
+"""Post-run invariant validation for :class:`SimResult`.
+
+A cheap, independent audit of a finished simulation: counter
+consistency, probability-vector sanity, physical bounds on power.
+Used by integration tests and available to users (e.g. after modifying
+schemes or policies) to catch broken bookkeeping early.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.power.accounting import CATEGORIES
+from repro.sim.results import SimResult
+
+
+class ValidationError(AssertionError):
+    """A finished run failed a consistency check."""
+
+
+def validate_result(result: SimResult, chips: int = 32) -> List[str]:
+    """Run all checks; returns the list of check names that passed.
+
+    Raises :class:`ValidationError` on the first failure.
+    """
+    passed: List[str] = []
+
+    def check(name: str, condition: bool, detail: str = "") -> None:
+        if not condition:
+            raise ValidationError(f"{name} failed for {result.workload_name}"
+                                  f"/{result.scheme_name}: {detail}")
+        passed.append(name)
+
+    ctrl = result.controller
+
+    check("runtime-positive", result.runtime_cycles > 0)
+    check(
+        "cores-finished",
+        all(c.finish_cycle > 0 and c.retired_instructions > 0 for c in result.cores),
+    )
+    check("ipc-bounds", all(0 < c.ipc <= 8.0 for c in result.cores),
+          f"ipcs={result.ipcs}")
+
+    # Row-buffer counters partition services.
+    for kind in (ctrl.reads, ctrl.writes):
+        check("hits-bounded", kind.row_hits <= kind.served,
+              f"{kind.row_hits} hits > {kind.served} served")
+        check("false-hits-bounded", kind.false_hits <= kind.served)
+    check(
+        "activation-histogram-consistent",
+        sum(result.activation_histogram.values()) == ctrl.total_activations,
+        f"{sum(result.activation_histogram.values())} != {ctrl.total_activations}",
+    )
+    served_misses = ctrl.total_served - ctrl.total_hits
+    check(
+        "activations-cover-misses",
+        ctrl.total_activations >= served_misses,
+        f"{ctrl.total_activations} activations < {served_misses} misses",
+    )
+
+    # Energy: every category non-negative, fractions sum to one.
+    for cat in CATEGORIES:
+        check("energy-nonnegative", result.power.energy_pj[cat] >= 0, cat)
+    if result.power.total_pj > 0:
+        check(
+            "fractions-normalized",
+            abs(sum(result.power.fractions().values()) - 1.0) < 1e-9,
+        )
+
+    # Physical power bounds: background alone cannot exceed total, and
+    # total power should be within plausible chip budgets.
+    total_mw = result.avg_power_mw
+    check("power-positive", total_mw > 0)
+    check("power-plausible", total_mw < 400 * chips,
+          f"{total_mw:.0f} mW for {chips} chips")
+
+    # Dirty-word distribution is a probability vector (when present).
+    if result.dirty_word_fractions:
+        total = sum(result.dirty_word_fractions.values())
+        check("dirty-words-normalized", total == 0 or abs(total - 1.0) < 1e-6,
+              f"sum={total}")
+
+    # Scheme-specific: unmasked schemes never record false hits and
+    # never open partial rows.
+    if result.scheme_name in ("Baseline", "FGA", "Half-DRAM", "DBI"):
+        check("no-false-hits-without-masking",
+              ctrl.reads.false_hits == 0 and ctrl.writes.false_hits == 0)
+    if result.scheme_name == "Baseline":
+        partial = sum(result.activation_histogram[g] for g in range(1, 8))
+        check("baseline-full-rows-only", partial == 0)
+
+    return passed

@@ -1,0 +1,80 @@
+"""Phased workloads: applications whose behaviour changes over time.
+
+Real programs alternate phases (pointer-chasing setup, streaming
+compute, random updates...).  A :class:`PhasedGenerator` concatenates
+the synthetic generators of several profiles, switching every N events,
+so schemes can be studied under time-varying dirty-word distributions
+and localities — e.g. watching PRA's activation-granularity mix follow
+the phases through an :class:`repro.sim.sampling.EpochSampler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.cpu.trace import TraceEvent
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.synthetic import TraceGenerator
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: a profile and how many events it lasts."""
+
+    profile: BenchmarkProfile
+    events: int
+
+    def __post_init__(self) -> None:
+        if self.events <= 0:
+            raise ValueError("phase length must be positive")
+
+
+class PhasedGenerator:
+    """Infinite trace cycling through the given phases.
+
+    Each phase keeps its own address streams (so returning to a phase
+    resumes its working set), which matches how applications revisit
+    data structures across phases.
+    """
+
+    def __init__(
+        self,
+        phases: "Sequence[Tuple[BenchmarkProfile, int] | Phase]",
+        seed: int = 0,
+        core_id: int = 0,
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases: List[Phase] = [
+            p if isinstance(p, Phase) else Phase(profile=p[0], events=p[1])
+            for p in phases
+        ]
+        self._generators = [
+            TraceGenerator(phase.profile, seed=seed + idx, core_id=core_id)
+            for idx, phase in enumerate(self.phases)
+        ]
+        self._phase_idx = 0
+        self._left_in_phase = self.phases[0].events
+        #: Total phase switches performed (stats/tests).
+        self.switches = 0
+
+    @property
+    def current_profile(self) -> BenchmarkProfile:
+        return self.phases[self._phase_idx].profile
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return self
+
+    def __next__(self) -> TraceEvent:
+        if self._left_in_phase <= 0:
+            self._phase_idx = (self._phase_idx + 1) % len(self.phases)
+            self._left_in_phase = self.phases[self._phase_idx].events
+            self.switches += 1
+        self._left_in_phase -= 1
+        return next(self._generators[self._phase_idx])
+
+
+def phased_workload_name(phases: "Sequence[Phase]") -> str:
+    """Conventional display name, e.g. ``lbm>GUPS>lbm``."""
+    return ">".join(p.profile.name for p in phases)

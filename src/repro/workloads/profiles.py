@@ -1,0 +1,190 @@
+"""Benchmark profiles calibrated to the paper's published measurements.
+
+Each profile drives the synthetic trace generator so that the resulting
+DRAM-level behaviour approximates the paper's characterization of the
+real benchmark:
+
+* Table 1 — read/write split of memory traffic and row activations,
+  read vs. write row-buffer hit rates (the locality asymmetry PRA
+  exploits);
+* Figure 3 — the distribution of dirty words in evicted LLC lines
+  (which becomes the PRA mask distribution).
+
+Knobs:
+
+* ``mean_gap`` — average non-memory instructions between LLC-level
+  accesses (memory intensity);
+* ``load/store/rmw`` fractions — pure loads, streaming stores and
+  load-modify-store pairs (RMW keeps DRAM read:write near 1:1, as in
+  GUPS-style update kernels);
+* ``read_run`` / ``write_run`` — mean sequential run length of each
+  address stream (row-buffer locality);
+* ``footprint_lines`` — working-set size (LLC filtering);
+* ``store_no_fill`` — streaming stores that skip the write-allocate
+  fill (non-temporal);
+* ``dirty_word_dist`` — Figure 3 histogram of dirty words per evicted
+  line.
+
+The numbers are synthetic calibrations, not measurements of the real
+SPEC binaries; tests in ``tests/test_calibration.py`` check that the
+emergent behaviour lands in the paper's bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generator parameters for one benchmark."""
+
+    name: str
+    mean_gap: float
+    load_fraction: float
+    store_fraction: float
+    rmw_fraction: float
+    read_run: float
+    write_run: float
+    footprint_lines: int
+    dirty_word_dist: Tuple[Tuple[int, float], ...]
+    store_no_fill: bool = False
+    #: Run length of the RMW (update) stream; defaults to ``write_run``.
+    rmw_run: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.load_fraction + self.store_fraction + self.rmw_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: stream fractions must sum to 1, got {total}")
+        dist_total = sum(p for _, p in self.dirty_word_dist)
+        if abs(dist_total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: dirty-word distribution must sum to 1")
+        for words, _ in self.dirty_word_dist:
+            if not 1 <= words <= 8:
+                raise ValueError(f"{self.name}: dirty word count out of range: {words}")
+        if self.mean_gap < 0 or self.read_run < 1 or self.write_run < 1:
+            raise ValueError(f"{self.name}: invalid gap or run length")
+        if self.rmw_run == 0.0:
+            object.__setattr__(self, "rmw_run", self.write_run)
+        if self.rmw_run < 1:
+            raise ValueError(f"{self.name}: rmw_run must be >= 1")
+        if self.footprint_lines < 1:
+            raise ValueError(f"{self.name}: footprint must be positive")
+
+    def mean_dirty_words(self) -> float:
+        return sum(w * p for w, p in self.dirty_word_dist)
+
+
+BZIP2 = BenchmarkProfile(
+    name="bzip2",
+    mean_gap=40.0,
+    load_fraction=0.50,
+    store_fraction=0.25,
+    rmw_fraction=0.25,
+    read_run=2.5,
+    write_run=1.5,
+    footprint_lines=1 << 20,
+    dirty_word_dist=((1, 0.50), (2, 0.15), (3, 0.05), (4, 0.10), (8, 0.20)),
+)
+
+LBM = BenchmarkProfile(
+    name="lbm",
+    mean_gap=8.0,
+    load_fraction=0.45,
+    store_fraction=0.35,
+    rmw_fraction=0.20,
+    read_run=1.7,
+    write_run=12.0,
+    footprint_lines=1 << 21,
+    dirty_word_dist=((1, 0.45), (2, 0.20), (4, 0.15), (8, 0.20)),
+    store_no_fill=True,
+    rmw_run=1.2,
+)
+
+LIBQUANTUM = BenchmarkProfile(
+    name="libquantum",
+    mean_gap=6.0,
+    load_fraction=0.50,
+    store_fraction=0.0,
+    rmw_fraction=0.50,
+    read_run=96.0,
+    write_run=8.0,
+    footprint_lines=1 << 21,
+    dirty_word_dist=((1, 0.90), (2, 0.10)),
+)
+
+MCF = BenchmarkProfile(
+    name="mcf",
+    mean_gap=10.0,
+    load_fraction=0.73,
+    store_fraction=0.0,
+    rmw_fraction=0.27,
+    read_run=1.3,
+    write_run=1.0,
+    footprint_lines=1 << 22,
+    dirty_word_dist=((1, 0.85), (2, 0.10), (4, 0.05)),
+)
+
+OMNETPP = BenchmarkProfile(
+    name="omnetpp",
+    mean_gap=18.0,
+    load_fraction=0.59,
+    store_fraction=0.0,
+    rmw_fraction=0.41,
+    read_run=18.0,
+    write_run=1.0,
+    footprint_lines=1 << 21,
+    dirty_word_dist=((1, 0.80), (2, 0.15), (8, 0.05)),
+)
+
+EM3D = BenchmarkProfile(
+    name="em3d",
+    mean_gap=6.0,
+    load_fraction=0.04,
+    store_fraction=0.0,
+    rmw_fraction=0.96,
+    read_run=2.0,
+    write_run=1.1,
+
+    footprint_lines=1 << 22,
+    dirty_word_dist=((1, 0.90), (2, 0.10)),
+)
+
+GUPS = BenchmarkProfile(
+    name="GUPS",
+    mean_gap=5.0,
+    load_fraction=0.12,
+    store_fraction=0.0,
+    rmw_fraction=0.88,
+    read_run=1.0,
+    write_run=1.0,
+    footprint_lines=1 << 22,
+    dirty_word_dist=((1, 1.0),),
+)
+
+LINKEDLIST = BenchmarkProfile(
+    name="LinkedList",
+    mean_gap=6.0,
+    load_fraction=0.46,
+    store_fraction=0.0,
+    rmw_fraction=0.54,
+    read_run=1.0,
+    write_run=1.0,
+    footprint_lines=1 << 22,
+    dirty_word_dist=((1, 1.0),),
+)
+
+#: The eight benchmarks of Table 1, in the paper's order.
+BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    p.name: p
+    for p in (BZIP2, LBM, LIBQUANTUM, MCF, OMNETPP, EM3D, GUPS, LINKEDLIST)
+}
+
+
+def profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name (case-insensitive)."""
+    for key, prof in BENCHMARKS.items():
+        if key.lower() == name.lower():
+            return prof
+    raise KeyError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}")

@@ -1,0 +1,149 @@
+"""Synthetic trace generation from benchmark profiles.
+
+The generator maintains one sequential address stream per access kind
+(loads, streaming stores, RMW updates).  A stream continues its current
+run with geometric run lengths (row locality) and jumps uniformly
+within the benchmark footprint otherwise.  RMW events emit a load
+followed, a couple of instructions later, by a store to the same line
+(the load fills the LLC, the store only dirties it — matching how
+update-heavy kernels hit DRAM with a 1:1 read/write mix).
+
+Everything is driven by a seeded ``random.Random``, so traces are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Iterator, List, Optional
+
+from repro.cpu.trace import TraceEvent
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Line-address stride between per-core memory regions (1 GB).
+REGION_LINES = 1 << 24
+
+
+class _Stream:
+    """Sequential-run address stream within a footprint."""
+
+    def __init__(
+        self, rng: random.Random, base: int, footprint: int, mean_run: float
+    ) -> None:
+        self.rng = rng
+        self.base = base
+        self.footprint = footprint
+        self.mean_run = mean_run
+        self.pos = base
+        self.run_left = 0
+
+    def next_line(self) -> int:
+        if self.run_left > 0:
+            self.run_left -= 1
+            self.pos += 1
+        else:
+            self.pos = self.base + self.rng.randrange(self.footprint)
+            if self.mean_run > 1.0:
+                # Geometric run with the configured mean (>= 1).
+                p = 1.0 / self.mean_run
+                run = 1
+                while self.rng.random() > p:
+                    run += 1
+                self.run_left = run - 1
+            else:
+                self.run_left = 0
+        return self.pos
+
+
+class TraceGenerator:
+    """Infinite trace of :class:`TraceEvent` for one benchmark instance."""
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        seed: int = 0,
+        core_id: int = 0,
+        region_lines: int = REGION_LINES,
+    ) -> None:
+        self.profile = profile
+        # zlib.crc32 instead of hash(): str hashing is randomized per
+        # process (PYTHONHASHSEED), which would break cross-process
+        # reproducibility of every experiment.
+        name_hash = zlib.crc32(profile.name.encode())
+        self.rng = random.Random((seed << 8) ^ name_hash)
+        base = core_id * region_lines
+        self.loads = _Stream(self.rng, base, profile.footprint_lines, profile.read_run)
+        self.stores = _Stream(
+            self.rng, base + region_lines // 2, profile.footprint_lines, profile.write_run
+        )
+        self.rmw = _Stream(
+            self.rng, base + region_lines // 4, profile.footprint_lines, profile.rmw_run
+        )
+        self._pending_store: Optional[TraceEvent] = None
+        # Cumulative stream-choice thresholds.
+        self._load_cut = profile.load_fraction
+        self._store_cut = profile.load_fraction + profile.store_fraction
+        self._dist = profile.dirty_word_dist
+
+    # ------------------------------------------------------------------
+    def _gap(self) -> int:
+        mean = self.profile.mean_gap
+        if mean <= 0:
+            return 0
+        return min(int(self.rng.expovariate(1.0 / mean)), int(mean * 8) + 1)
+
+    def _dirty_mask(self) -> int:
+        roll = self.rng.random()
+        cumulative = 0.0
+        words = 1
+        for count, prob in self._dist:
+            cumulative += prob
+            if roll <= cumulative:
+                words = count
+                break
+        else:
+            words = self._dist[-1][0]
+        if words >= 8:
+            return 0xFF
+        positions = self.rng.sample(range(8), words)
+        mask = 0
+        for bit in positions:
+            mask |= 1 << bit
+        return mask
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return self
+
+    def __next__(self) -> TraceEvent:
+        if self._pending_store is not None:
+            event, self._pending_store = self._pending_store, None
+            return event
+        roll = self.rng.random()
+        if roll < self._load_cut:
+            return TraceEvent(gap=self._gap(), line_addr=self.loads.next_line())
+        if roll < self._store_cut:
+            return TraceEvent(
+                gap=self._gap(),
+                line_addr=self.stores.next_line(),
+                write_mask=self._dirty_mask(),
+                no_fill=self.profile.store_no_fill,
+            )
+        # RMW: load now, store to the same line right after.
+        line = self.rmw.next_line()
+        self._pending_store = TraceEvent(
+            gap=2, line_addr=line, write_mask=self._dirty_mask()
+        )
+        return TraceEvent(gap=self._gap(), line_addr=line)
+
+
+def generate(
+    profile: BenchmarkProfile,
+    events: int,
+    seed: int = 0,
+    core_id: int = 0,
+) -> List[TraceEvent]:
+    """Materialize ``events`` trace events for tests and examples."""
+    gen = TraceGenerator(profile, seed=seed, core_id=core_id)
+    return [next(gen) for _ in range(events)]

@@ -1,0 +1,113 @@
+"""Trace file I/O: save synthetic traces, replay external ones.
+
+Lets downstream users bring their own LLC-level memory traces instead
+of the calibrated synthetic generators.  The format is a plain text
+file, one event per line::
+
+    # repro-trace v1
+    <gap> <line_addr> <write_mask_hex> <no_fill:0|1>
+
+Loads have ``write_mask`` 0.  Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.cpu.trace import TraceEvent
+
+HEADER = "# repro-trace v1"
+
+
+def save_trace(events: Iterable[TraceEvent], path: "Union[str, Path]") -> int:
+    """Write events to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write(HEADER + "\n")
+        for event in events:
+            handle.write(
+                f"{event.gap} {event.line_addr} {event.write_mask:02x} "
+                f"{1 if event.no_fill else 0}\n"
+            )
+            count += 1
+    return count
+
+
+def _parse_line(line: str, lineno: int) -> TraceEvent:
+    parts = line.split()
+    if len(parts) != 4:
+        raise ValueError(f"line {lineno}: expected 4 fields, got {len(parts)}")
+    try:
+        gap = int(parts[0])
+        line_addr = int(parts[1])
+        write_mask = int(parts[2], 16)
+        no_fill = parts[3] == "1"
+    except ValueError as exc:
+        raise ValueError(f"line {lineno}: {exc}") from exc
+    return TraceEvent(gap=gap, line_addr=line_addr, write_mask=write_mask,
+                      no_fill=no_fill)
+
+
+def load_trace(path: "Union[str, Path]") -> List[TraceEvent]:
+    """Read a whole trace file into memory."""
+    return list(iter_trace(path))
+
+
+def iter_trace(path: "Union[str, Path]") -> Iterator[TraceEvent]:
+    """Stream a trace file lazily (for long traces)."""
+    with open(path) as handle:
+        first = handle.readline().rstrip("\n")
+        if first != HEADER:
+            raise ValueError(f"not a repro trace file (header {first!r})")
+        for lineno, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield _parse_line(line, lineno)
+
+
+class FileTraceWorkload:
+    """Adapter: one trace file per core, usable in place of profiles.
+
+    Example::
+
+        traces = FileTraceWorkload(["core0.trace", "core1.trace"])
+        system = System(
+            config,
+            traces.as_workload("mytrace"),
+            events_per_core=...,
+            trace_overrides=traces.overrides(),
+        )
+
+    ``as_workload`` supplies the core names; ``overrides`` supplies the
+    per-core event iterators that replace the synthetic generators.
+    """
+
+    def __init__(self, paths: "List[Union[str, Path]]") -> None:
+        if not paths:
+            raise ValueError("need at least one trace file")
+        self.paths = [Path(p) for p in paths]
+        for p in self.paths:
+            if not p.exists():
+                raise FileNotFoundError(str(p))
+
+    def events(self, core_id: int) -> Iterator[TraceEvent]:
+        return iter_trace(self.paths[core_id % len(self.paths)])
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.paths)
+
+    def as_workload(self, name: str = "file-trace"):
+        """Build a Workload naming each core after its trace file."""
+        from types import SimpleNamespace
+
+        from repro.workloads.mixes import Workload
+
+        apps = tuple(SimpleNamespace(name=p.stem) for p in self.paths)
+        return Workload(name=name, apps=apps)
+
+    def overrides(self) -> "List[Iterator[TraceEvent]]":
+        """Per-core event iterators for ``System(trace_overrides=...)``."""
+        return [self.events(i) for i in range(self.num_cores)]

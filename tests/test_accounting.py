@@ -1,0 +1,131 @@
+"""Power accounting: event-to-energy conversion and breakdowns."""
+
+import pytest
+
+from repro.dram.timing import DDR3_1600
+from repro.power.accounting import CATEGORIES, PowerAccountant, PowerBreakdown
+from repro.power.params import DDR3_1600_POWER
+
+T = DDR3_1600
+P = DDR3_1600_POWER
+CHIPS = 8
+
+
+@pytest.fixture
+def acct():
+    return PowerAccountant(P, T, chips_per_rank=CHIPS)
+
+
+class TestActivationEnergy:
+    def test_full_activation_energy(self, acct):
+        acct.on_activate(8)
+        expected = P.act_power(8) * T.row_cycle_ns * CHIPS
+        assert acct.energy_pj["act_pre"] == pytest.approx(expected)
+
+    def test_partial_activation_cheaper(self, acct):
+        acct.on_activate(1)
+        one_eighth = acct.energy_pj["act_pre"]
+        acct.energy_pj["act_pre"] = 0.0
+        acct.on_activate(8)
+        assert one_eighth < acct.energy_pj["act_pre"] / 4
+
+    def test_histogram(self, acct):
+        acct.on_activate(8)
+        acct.on_activate(1)
+        acct.on_activate(1)
+        assert acct.activations_by_granularity[8] == 1
+        assert acct.activations_by_granularity[1] == 2
+
+    def test_fraction_buckets_to_nearest_eighth(self, acct):
+        acct.on_activate_fraction(0.5)
+        assert acct.activations_by_granularity[4] == 1
+        acct.on_activate_fraction(1 / 16)  # Half-DRAM + PRA minimum
+        assert acct.activations_by_granularity[1] == 1
+
+
+class TestBurstEnergy:
+    def test_read_burst(self, acct):
+        acct.on_read_burst(other_ranks=1)
+        burst_ns = T.cycles_to_ns(T.tburst)
+        assert acct.energy_pj["rd"] == pytest.approx(P.rd_mw * burst_ns * CHIPS)
+        io = (P.rd_io_mw + P.rd_term_mw) * burst_ns * CHIPS * P.io_scale
+        assert acct.energy_pj["rd_io"] == pytest.approx(io)
+
+    def test_write_burst_full(self, acct):
+        acct.on_write_burst(1.0, other_ranks=1)
+        burst_ns = T.cycles_to_ns(T.tburst)
+        io = (P.wr_odt_mw + P.wr_term_mw) * burst_ns * CHIPS * P.io_scale
+        assert acct.energy_pj["wr_io"] == pytest.approx(io)
+
+    def test_partial_write_scales_io(self, acct):
+        # PRA: only dirty words are driven (Section 4.1 / Fig 12b).
+        acct.on_write_burst(1.0, other_ranks=1)
+        full_io = acct.energy_pj["wr_io"]
+        full_wr = acct.energy_pj["wr"]
+        acct.energy_pj["wr_io"] = acct.energy_pj["wr"] = 0.0
+        acct.on_write_burst(0.125, other_ranks=1)
+        assert acct.energy_pj["wr_io"] == pytest.approx(full_io * 0.125)
+        assert acct.energy_pj["wr"] == pytest.approx(full_wr * 0.125)
+
+    def test_wr_core_scaling_can_be_disabled(self):
+        acct = PowerAccountant(P, T, chips_per_rank=CHIPS, scale_wr_core_with_mask=False)
+        acct.on_write_burst(0.125, other_ranks=0)
+        burst_ns = T.cycles_to_ns(T.tburst)
+        assert acct.energy_pj["wr"] == pytest.approx(P.wr_mw * burst_ns * CHIPS)
+
+    def test_no_other_ranks_no_termination(self, acct):
+        acct.on_read_burst(other_ranks=0)
+        burst_ns = T.cycles_to_ns(T.tburst)
+        expected = P.rd_io_mw * burst_ns * CHIPS * P.io_scale
+        assert acct.energy_pj["rd_io"] == pytest.approx(expected)
+
+    def test_driven_fraction_bounds(self, acct):
+        with pytest.raises(ValueError):
+            acct.on_write_burst(0.0)
+        with pytest.raises(ValueError):
+            acct.on_write_burst(1.5)
+
+
+class TestBackgroundAndRefresh:
+    def test_background_by_state(self, acct):
+        acct.add_background({"act_stby": 100, "pre_stby": 50, "pre_pdn": 10})
+        tck = T.tck_ns
+        expected = (
+            100 * tck * P.act_stby_mw + 50 * tck * P.pre_stby_mw + 10 * tck * P.pre_pdn_mw
+        ) * CHIPS
+        assert acct.energy_pj["bg"] == pytest.approx(expected)
+
+    def test_refresh_energy(self, acct):
+        acct.on_refresh()
+        expected = P.ref_mw * T.cycles_to_ns(T.trfc) * CHIPS
+        assert acct.energy_pj["ref"] == pytest.approx(expected)
+        assert acct.refreshes == 1
+
+
+class TestBreakdown:
+    def test_categories_complete(self, acct):
+        bd = acct.breakdown(1000)
+        assert set(bd.energy_pj) == set(CATEGORIES)
+
+    def test_fractions_sum_to_one(self, acct):
+        acct.on_activate(8)
+        acct.on_read_burst()
+        acct.on_refresh()
+        bd = acct.breakdown(1000)
+        assert sum(bd.fractions().values()) == pytest.approx(1.0)
+
+    def test_power_is_energy_over_time(self, acct):
+        acct.on_activate(8)
+        bd = acct.breakdown(800)  # 800 cycles = 1000 ns
+        assert bd.power_mw("act_pre") == pytest.approx(
+            acct.energy_pj["act_pre"] / 1000.0
+        )
+
+    def test_zero_runtime_guard(self, acct):
+        bd = acct.breakdown(0)
+        assert bd.total_power_mw == 0.0
+
+    def test_total_mj(self, acct):
+        acct.on_activate(8)
+        bd = acct.breakdown(1000)
+        assert bd.total_mj == pytest.approx(bd.total_pj * 1e-9)

@@ -1,0 +1,199 @@
+"""Bank FSM: DDR3 legality, partial-row state, false-hit classification."""
+
+import pytest
+
+from repro.dram.bank import ActivationWindow, Bank, BankStateError
+from repro.dram.geometry import FULL_MASK
+from repro.dram.timing import DDR3_1600
+
+T = DDR3_1600
+
+
+@pytest.fixture
+def bank():
+    return Bank(timing=T)
+
+
+class TestActivate:
+    def test_initially_closed(self, bank):
+        assert not bank.is_open
+        assert bank.can_activate(0)
+
+    def test_activate_opens_row(self, bank):
+        bank.activate(0, row=42)
+        assert bank.is_open
+        assert bank.open_row == 42
+        assert bank.open_mask == FULL_MASK
+
+    def test_full_activation_column_after_trcd(self, bank):
+        bank.activate(0, row=1)
+        assert not bank.can_column(T.trcd - 1)
+        assert bank.can_column(T.trcd)
+
+    def test_partial_activation_adds_one_cycle(self, bank):
+        # Figure 7a: PRA delays the column command by tCK.
+        bank.activate(0, row=1, mask=0b00000001)
+        assert not bank.can_column(T.trcd)
+        assert bank.can_column(T.trcd + 1)
+        assert bank.open_mask == 0b00000001
+
+    def test_activate_while_open_rejected(self, bank):
+        bank.activate(0, row=1)
+        with pytest.raises(BankStateError):
+            bank.activate(T.trc + 1, row=2)
+
+    def test_same_bank_act_to_act_respects_trc(self, bank):
+        bank.activate(0, row=1)
+        bank.precharge(T.tras)
+        # act_ready = max(tRC from ACT, tRP from PRE) = tRC here.
+        assert not bank.can_activate(T.trc - 1)
+        assert bank.can_activate(T.trc)
+
+    def test_zero_mask_rejected(self, bank):
+        with pytest.raises(BankStateError):
+            bank.activate(0, row=1, mask=0)
+
+
+class TestPrecharge:
+    def test_precharge_before_tras_rejected(self, bank):
+        bank.activate(0, row=1)
+        with pytest.raises(BankStateError):
+            bank.precharge(T.tras - 1)
+
+    def test_precharge_after_tras(self, bank):
+        bank.activate(0, row=1)
+        bank.precharge(T.tras)
+        assert not bank.is_open
+
+    def test_write_recovery_blocks_precharge(self, bank):
+        bank.activate(0, row=1)
+        wr_cycle = T.trcd
+        burst_end = bank.write(wr_cycle)
+        assert burst_end == wr_cycle + T.tcwl + T.tburst
+        assert not bank.can_precharge(burst_end + T.twr - 1)
+        assert bank.can_precharge(burst_end + T.twr)
+
+    def test_read_to_precharge_trtp(self, bank):
+        bank.activate(0, row=1)
+        bank.read(T.trcd)
+        earliest = max(T.tras, T.trcd + T.trtp)
+        assert not bank.can_precharge(earliest - 1)
+        assert bank.can_precharge(earliest)
+
+    def test_precharge_closed_bank_rejected(self, bank):
+        with pytest.raises(BankStateError):
+            bank.precharge(100)
+
+
+class TestColumnAccess:
+    def test_read_returns_burst_end(self, bank):
+        bank.activate(0, row=1)
+        end = bank.read(T.trcd)
+        assert end == T.trcd + T.tcas + T.tburst
+
+    def test_ccd_between_columns(self, bank):
+        bank.activate(0, row=1)
+        bank.read(T.trcd)
+        assert not bank.can_column(T.trcd + T.tccd - 1)
+        assert bank.can_column(T.trcd + T.tccd)
+
+    def test_column_on_closed_bank_rejected(self, bank):
+        with pytest.raises(BankStateError):
+            bank.read(100)
+
+    def test_access_counter(self, bank):
+        bank.activate(0, row=1)
+        assert bank.open_row_accesses == 0
+        bank.read(T.trcd)
+        bank.read(T.trcd + T.tccd)
+        assert bank.open_row_accesses == 2
+
+
+class TestHitKind:
+    def test_closed(self, bank):
+        assert bank.hit_kind(1, FULL_MASK) == "closed"
+
+    def test_hit_full(self, bank):
+        bank.activate(0, row=1)
+        assert bank.hit_kind(1, FULL_MASK) == "hit"
+
+    def test_miss_other_row(self, bank):
+        bank.activate(0, row=1)
+        assert bank.hit_kind(2, FULL_MASK) == "miss"
+
+    def test_false_hit_read_against_partial(self, bank):
+        # Section 5.2.1: read to a partially opened row is a false hit.
+        bank.activate(0, row=1, mask=0b11000000)
+        assert bank.hit_kind(1, FULL_MASK) == "false"
+
+    def test_false_hit_write_uncovered(self, bank):
+        bank.activate(0, row=1, mask=0b10000001)
+        assert bank.hit_kind(1, 0b00000010) == "false"
+
+    def test_write_hit_covered_partial(self, bank):
+        bank.activate(0, row=1, mask=0b10000001)
+        assert bank.hit_kind(1, 0b00000001) == "hit"
+
+
+class TestRefreshBlock:
+    def test_refresh_requires_precharged(self, bank):
+        bank.activate(0, row=1)
+        with pytest.raises(BankStateError):
+            bank.block_for_refresh(50)
+
+    def test_refresh_blocks_activation(self, bank):
+        bank.block_for_refresh(0)
+        assert not bank.can_activate(T.trfc - 1)
+        assert bank.can_activate(T.trfc)
+
+
+class TestActivationWindow:
+    def test_four_full_acts_fill_window(self):
+        w = ActivationWindow(tfaw=24)
+        for i in range(4):
+            assert w.can_activate(i, 1.0)
+            w.record(i, 1.0)
+        assert not w.can_activate(4, 1.0)
+
+    def test_window_expires(self):
+        w = ActivationWindow(tfaw=24)
+        for i in range(4):
+            w.record(i, 1.0)
+        assert w.can_activate(25, 1.0)
+
+    def test_fractional_weights_relax_faw(self):
+        # Section 4.1.3: partial activations relax tFAW.
+        w = ActivationWindow(tfaw=24)
+        for i in range(16):
+            assert w.can_activate(i, 0.125), f"1/8 act #{i} should fit"
+            w.record(i, 0.125)
+        # 16 * 1/8 = 2.0 of 4.0 budget used; full act still fits.
+        assert w.can_activate(16, 1.0)
+
+    def test_next_allowed_after_full_window(self):
+        w = ActivationWindow(tfaw=24)
+        for i in range(4):
+            w.record(i, 1.0)
+        # Earliest slot: after the first entry leaves the window.
+        assert w.next_allowed(4, 1.0) == 0 + 24 + 1
+
+    def test_next_allowed_now_when_space(self):
+        w = ActivationWindow(tfaw=24)
+        assert w.next_allowed(7, 1.0) == 7
+
+
+class TestWiden:
+    """Incremental-activation ablation helper (not a paper operation)."""
+
+    def test_widen_merges_mask_and_delays_column(self):
+        bank = Bank(timing=T)
+        bank.activate(0, row=1, mask=0b1)
+        bank.widen(20, 0b10)
+        assert bank.open_mask == 0b11
+        assert not bank.can_column(20 + T.trcd - 1)
+        assert bank.can_column(20 + T.trcd)
+
+    def test_widen_closed_bank_rejected(self):
+        bank = Bank(timing=T)
+        with pytest.raises(BankStateError):
+            bank.widen(5, 0b1)

@@ -1,0 +1,112 @@
+"""Calibration bands: the synthetic benchmarks must land near Table 1
+and Figure 3 of the paper.
+
+Single-core baseline runs, as in the paper's motivational data.  Bands
+are deliberately generous (synthetic traces approximate, not clone, the
+SPEC binaries) but tight enough to catch calibration regressions.
+"""
+
+import pytest
+
+from repro.core.schemes import BASELINE
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads.mixes import Workload
+from repro.workloads.profiles import BENCHMARKS, profile
+
+EVENTS = 6000
+
+#: Table 1: (read hit %, write hit %, read traffic %) per benchmark.
+TABLE1 = {
+    "bzip2": (32, 1, 69),
+    "lbm": (29, 18, 57),
+    "libquantum": (73, 48, 66),
+    "mcf": (18, 1, 79),
+    "omnetpp": (47, 2, 71),
+    "em3d": (5, 1, 51),
+    "GUPS": (3, 1, 53),
+    "LinkedList": (4, 1, 65),
+}
+
+_cache = {}
+
+
+def single_core(name):
+    if name not in _cache:
+        wl = Workload(name=f"{name}-1c", apps=(profile(name),))
+        _cache[name] = simulate(SystemConfig(), wl, EVENTS)
+    return _cache[name]
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1))
+class TestTable1Bands:
+    def test_read_hit_rate(self, name):
+        target = TABLE1[name][0]
+        got = 100 * single_core(name).controller.reads.hit_rate
+        assert abs(got - target) <= 12, f"{name}: read hit {got:.0f}% vs {target}%"
+
+    def test_write_hit_rate(self, name):
+        target = TABLE1[name][1]
+        got = 100 * single_core(name).controller.writes.hit_rate
+        assert abs(got - target) <= 10, f"{name}: write hit {got:.0f}% vs {target}%"
+
+    def test_read_traffic_share(self, name):
+        target = TABLE1[name][2]
+        got = 100 * single_core(name).controller.traffic_split()["read"]
+        assert abs(got - target) <= 6, f"{name}: read share {got:.0f}% vs {target}%"
+
+
+class TestLocalityAsymmetry:
+    """Section 2.2.2: reads reuse rows, writes mostly don't."""
+
+    def test_read_hits_exceed_write_hits_on_average(self):
+        read_rates = [single_core(n).controller.reads.hit_rate for n in TABLE1]
+        write_rates = [single_core(n).controller.writes.hit_rate for n in TABLE1]
+        avg_read = sum(read_rates) / len(read_rates)
+        avg_write = sum(write_rates) / len(write_rates)
+        assert avg_read > 2 * avg_write
+
+    def test_write_activation_share_exceeds_write_traffic_share(self):
+        # Poor write locality => writes cause a disproportionate share
+        # of activations (e.g. omnetpp: 29% of traffic, 43% of ACTs).
+        disproportionate = 0
+        for name in TABLE1:
+            c = single_core(name).controller
+            if c.activation_split()["write"] >= c.traffic_split()["write"]:
+                disproportionate += 1
+        assert disproportionate >= 6
+
+    def test_ordering_of_read_locality(self):
+        # libquantum streams; GUPS is random: the extremes must hold.
+        assert (
+            single_core("libquantum").controller.reads.hit_rate
+            > single_core("bzip2").controller.reads.hit_rate
+            > single_core("GUPS").controller.reads.hit_rate
+        )
+
+
+class TestFigure3DirtyWords:
+    def test_gups_all_single_word(self):
+        fracs = single_core("GUPS").dirty_word_fractions
+        assert fracs[1] > 0.95
+
+    def test_most_lines_few_dirty_words(self):
+        # Figure 3: across benchmarks, evicted lines are dominated by
+        # 1-2 dirty words; full-line-dirty is the minority.
+        for name in ("mcf", "omnetpp", "em3d", "LinkedList"):
+            fracs = single_core(name).dirty_word_fractions
+            assert fracs[1] + fracs[2] > 0.6, name
+
+    def test_bzip2_has_full_line_tail(self):
+        fracs = single_core("bzip2").dirty_word_fractions
+        assert fracs[8] > 0.05
+
+    def test_distribution_matches_profile(self):
+        for name in TABLE1:
+            prof = profile(name)
+            fracs = single_core(name).dirty_word_fractions
+            expected = dict(prof.dirty_word_dist)
+            for words, p in expected.items():
+                assert fracs[words] == pytest.approx(p, abs=0.08), (
+                    f"{name}: {words}-word fraction {fracs[words]:.2f} vs {p:.2f}"
+                )

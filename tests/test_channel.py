@@ -1,0 +1,67 @@
+"""Channel model: data-bus exclusivity, rank switch penalty, FGA bursts."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.timing import DDR3_1600
+
+T = DDR3_1600
+
+
+@pytest.fixture
+def channel():
+    return Channel(T, num_ranks=2)
+
+
+class TestCommandBus:
+    def test_one_command_per_cycle(self, channel):
+        assert channel.cmd_bus_ready(0)
+        channel.occupy_cmd_bus(0)
+        assert not channel.cmd_bus_ready(0)
+        assert channel.cmd_bus_ready(1)
+
+    def test_pra_act_occupies_two_cycles(self, channel):
+        # The PRA mask rides the address bus in the next cycle (Fig 7a).
+        channel.occupy_cmd_bus(0, cycles=2)
+        assert not channel.cmd_bus_ready(1)
+        assert channel.cmd_bus_ready(2)
+
+
+class TestDataBus:
+    def test_burst_occupies_tburst(self, channel):
+        end = channel.occupy_data_bus(10, rank=0)
+        assert end == 10 + T.tburst
+        assert channel.earliest_burst_start(10, 0) == end
+
+    def test_same_rank_back_to_back(self, channel):
+        channel.occupy_data_bus(10, rank=0)
+        assert channel.earliest_burst_start(14, 0) == 14
+
+    def test_rank_switch_penalty(self, channel):
+        channel.occupy_data_bus(10, rank=0)
+        # A burst from the other rank pays tRTRS after bus-free.
+        assert channel.earliest_burst_start(14, 1) == 14 + T.trtrs
+
+    def test_busy_cycles_accumulate(self, channel):
+        channel.occupy_data_bus(0, 0)
+        channel.occupy_data_bus(4, 0)
+        assert channel.data_bus_busy_cycles == 2 * T.tburst
+
+
+class TestFGABurstMultiplier:
+    def test_fga_doubles_occupancy(self):
+        fga = Channel(T, num_ranks=2, burst_cycles_multiplier=2)
+        assert fga.burst_cycles == 2 * T.tburst
+        end = fga.occupy_data_bus(0, 0)
+        assert end == 2 * T.tburst
+
+    def test_baseline_multiplier_is_one(self, channel):
+        assert channel.burst_cycles == T.tburst
+
+
+class TestRelaxFlagPropagation:
+    def test_ranks_inherit_relaxation(self):
+        ch = Channel(T, num_ranks=2, relax_act_constraints=True)
+        assert all(r.relax_act_constraints for r in ch.ranks)
+        ch2 = Channel(T, num_ranks=2)
+        assert not any(r.relax_act_constraints for r in ch2.ranks)

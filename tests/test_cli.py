@@ -1,0 +1,102 @@
+"""CLI: argument parsing and end-to-end command behaviour."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "MIX1"
+        assert args.scheme == "PRA"
+        assert args.policy == "relaxed"
+
+    def test_compare_schemes(self):
+        args = build_parser().parse_args(
+            ["compare", "--schemes", "PRA", "Half-DRAM"]
+        )
+        assert args.schemes == ["PRA", "Half-DRAM"]
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "MIX1" in out
+        assert "PRA" in out
+        assert "relaxed" in out
+
+    def test_run_small(self, capsys):
+        code = main(["run", "--workload", "GUPS", "--scheme", "PRA",
+                     "--events", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GUPS / PRA" in out
+        assert "total_power_mw" in out
+        assert "1/8 row" in out
+
+    def test_compare_small(self, capsys):
+        code = main(["compare", "--workload", "GUPS", "--events", "300",
+                     "--schemes", "PRA"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out  # baseline auto-added
+        assert "PRA" in out
+
+    def test_unknown_scheme_clean_error(self, capsys):
+        code = main(["run", "--scheme", "bogus", "--events", "300"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scheme" in err
+        assert "Traceback" not in err
+
+    def test_unknown_workload_clean_error(self, capsys):
+        code = main(["run", "--workload", "nope", "--events", "300"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_restricted_policy(self, capsys):
+        code = main(["run", "--workload", "GUPS", "--scheme", "Baseline",
+                     "--events", "300", "--policy", "restricted"])
+        assert code == 0
+        assert "restricted-close-page" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_csv(self, tmp_path, capsys):
+        out = tmp_path / "grid.csv"
+        code = main([
+            "sweep", "--workloads", "GUPS", "--schemes", "Baseline", "PRA",
+            "--events", "300", "--out", str(out),
+        ])
+        assert code == 0
+        import csv
+
+        with open(out) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert {r["scheme"] for r in rows} == {"Baseline", "PRA"}
+
+    def test_sweep_json(self, tmp_path):
+        out = tmp_path / "grid.json"
+        code = main([
+            "sweep", "--workloads", "GUPS", "--schemes", "PRA",
+            "--events", "300", "--out", str(out),
+        ])
+        assert code == 0
+        import json
+
+        assert len(json.loads(out.read_text())) == 1
+
+    def test_sweep_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])

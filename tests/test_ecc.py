@@ -1,0 +1,83 @@
+"""ECC (x72 DIMM) support: Section 4.2 behaviour.
+
+The ECC chip's PRA pin is tied high, so it always performs full-row
+activations and full bursts; PRA's savings therefore apply to the
+eight data chips only, shrinking but not destroying the benefit.
+"""
+
+import pytest
+
+from repro.controller.policies import RowPolicy
+from repro.core.schemes import BASELINE, PRA
+from repro.dram.timing import DDR3_1600
+from repro.power.accounting import PowerAccountant
+from repro.power.params import DDR3_1600_POWER
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.system import simulate
+from repro.workloads.mixes import workload
+
+T = DDR3_1600
+P = DDR3_1600_POWER
+
+
+class TestAccountantECC:
+    def test_activation_adds_full_row_ecc_energy(self):
+        plain = PowerAccountant(P, T, chips_per_rank=8)
+        ecc = PowerAccountant(P, T, chips_per_rank=8, ecc_chips=1)
+        plain.on_activate(1)
+        ecc.on_activate(1)
+        extra = ecc.energy_pj["act_pre"] - plain.energy_pj["act_pre"]
+        assert extra == pytest.approx(P.act_power(8) * T.row_cycle_ns)
+
+    def test_fractional_activation_ecc(self):
+        ecc = PowerAccountant(P, T, chips_per_rank=8, ecc_chips=1)
+        ecc.on_activate_fraction(0.125)
+        expected = (
+            P.act_power_fraction(0.125) * T.row_cycle_ns * 8
+            + P.act_power(8) * T.row_cycle_ns
+        )
+        assert ecc.energy_pj["act_pre"] == pytest.approx(expected)
+
+    def test_partial_write_keeps_full_ecc_io(self):
+        plain = PowerAccountant(P, T, chips_per_rank=8)
+        ecc = PowerAccountant(P, T, chips_per_rank=8, ecc_chips=1)
+        plain.on_write_burst(0.125, other_ranks=1)
+        ecc.on_write_burst(0.125, other_ranks=1)
+        burst = T.cycles_to_ns(T.tburst)
+        extra_io = (P.wr_odt_mw + P.wr_term_mw) * burst * P.io_scale
+        assert ecc.energy_pj["wr_io"] - plain.energy_pj["wr_io"] == pytest.approx(
+            extra_io
+        )
+
+    def test_background_and_refresh_count_ecc_chip(self):
+        plain = PowerAccountant(P, T, chips_per_rank=8)
+        ecc = PowerAccountant(P, T, chips_per_rank=8, ecc_chips=1)
+        for acct in (plain, ecc):
+            acct.on_refresh()
+            acct.add_background({"pre_stby": 100})
+        assert ecc.energy_pj["ref"] / plain.energy_pj["ref"] == pytest.approx(9 / 8)
+        assert ecc.energy_pj["bg"] / plain.energy_pj["bg"] == pytest.approx(9 / 8)
+
+
+class TestSystemECC:
+    def _run(self, scheme, ecc_chips):
+        config = SystemConfig(
+            scheme=scheme,
+            cache=CacheConfig(llc_bytes=256 * 1024),
+            ecc_chips=ecc_chips,
+        )
+        return simulate(config, workload("GUPS"), 1000, warmup_events_per_core=4000)
+
+    def test_ecc_shrinks_but_keeps_pra_savings(self):
+        base_noecc = self._run(BASELINE, 0)
+        pra_noecc = self._run(PRA, 0)
+        base_ecc = self._run(BASELINE, 1)
+        pra_ecc = self._run(PRA, 1)
+        saving_noecc = 1 - pra_noecc.avg_power_mw / base_noecc.avg_power_mw
+        saving_ecc = 1 - pra_ecc.avg_power_mw / base_ecc.avg_power_mw
+        assert 0 < saving_ecc < saving_noecc
+
+    def test_ecc_increases_absolute_power(self):
+        noecc = self._run(BASELINE, 0)
+        ecc = self._run(BASELINE, 1)
+        assert ecc.avg_power_mw > noecc.avg_power_mw

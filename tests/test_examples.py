@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs end to end at tiny scale.
+
+Examples are the first thing a new user executes; a broken one costs
+more trust than a broken internal. Each runs in a subprocess exactly
+as a user would invoke it, with arguments small enough for CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, argv, strings that must appear in stdout)
+CASES = [
+    ("power_model_explorer.py", [], ["Table 2", "Figure 9", "22.2"]),
+    ("fgd_cache_walkthrough.py", [], ["PRA mask", "activation power"]),
+    ("quickstart.py", ["400"], ["PRA saves", "granularity mix"]),
+    ("scheme_comparison.py", ["GUPS", "400"], ["Baseline", "PRA", "false row-buffer"]),
+    ("writeback_study.py", ["400"], ["DBI", "PRA", "bzip2"]),
+    ("custom_trace.py", ["400"], ["trace files", "PRA saves"]),
+    ("power_over_time.py", ["GUPS", "600"], ["total DRAM power", "mW"]),
+    ("phase_study.py", ["400"], ["Phased workload", "PRA saves"]),
+]
+
+
+@pytest.mark.parametrize("script,argv,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, argv, expected):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True,
+        text=True,
+        timeout=480,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-800:]}\n{result.stderr[-800:]}"
+    )
+    for text in expected:
+        assert text in result.stdout, f"{script}: {text!r} not in output"
+
+
+def test_examples_directory_is_fully_covered():
+    """Every example on disk has a smoke test (no orphaned scripts)."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {c[0] for c in CASES}
+    assert on_disk == covered, f"uncovered examples: {on_disk - covered}"

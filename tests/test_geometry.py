@@ -1,0 +1,71 @@
+"""Geometry invariants of the baseline DRAM system (Table 3 / Sec 2.1)."""
+
+import pytest
+
+from repro.dram.geometry import (
+    BASELINE_GEOMETRY,
+    FULL_MASK,
+    LINE_BYTES,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+    ChipGeometry,
+    SystemGeometry,
+)
+
+
+class TestChipGeometry:
+    def test_baseline_capacity_is_2gb(self):
+        chip = ChipGeometry()
+        assert chip.capacity_bits == 2 * 1024**3
+
+    def test_row_is_8kbit(self):
+        # An 8K-bit row is activated per chip (Section 2.2.1).
+        assert ChipGeometry().row_bits == 8 * 1024
+
+    def test_mat_grid_matches_row(self):
+        chip = ChipGeometry()
+        # 16 MATs x 512 columns = 8192 bits = one chip row.
+        assert chip.mats_per_subarray * chip.mat_cols == chip.row_bits
+
+    def test_rows_per_subarray(self):
+        chip = ChipGeometry()
+        assert chip.rows_per_subarray == 512
+        assert chip.rows_per_subarray == chip.mat_rows
+
+    def test_mat_groups_is_eight(self):
+        # 16 MATs paired into 8 groups = 8 PRA mask bits.
+        assert ChipGeometry().mat_groups == 8
+        assert ChipGeometry().mat_groups == WORDS_PER_LINE
+
+
+class TestSystemGeometry:
+    def test_baseline_capacity_is_8gb(self):
+        assert BASELINE_GEOMETRY.capacity_bytes == 8 * 1024**3
+
+    def test_bus_width_64bit(self):
+        assert BASELINE_GEOMETRY.bus_bytes == 8
+
+    def test_rank_row_buffer_is_8kb(self):
+        # "an 8KB row is opened" (Section 2.2.1).
+        assert BASELINE_GEOMETRY.row_buffer_bytes == 8 * 1024
+
+    def test_lines_per_row(self):
+        assert BASELINE_GEOMETRY.lines_per_row == 128
+
+    def test_total_banks(self):
+        assert BASELINE_GEOMETRY.total_banks == 2 * 2 * 8
+
+    def test_single_channel_variant(self):
+        geo = SystemGeometry(channels=1, ranks_per_channel=1)
+        assert geo.capacity_bytes == 2 * 1024**3
+        assert geo.row_buffer_bytes == 8 * 1024
+
+
+class TestLineConstants:
+    def test_line_and_word_sizes(self):
+        assert LINE_BYTES == 64
+        assert WORD_BYTES == 8
+        assert WORDS_PER_LINE * WORD_BYTES == LINE_BYTES
+
+    def test_full_mask(self):
+        assert FULL_MASK == 0xFF

@@ -1,0 +1,128 @@
+"""PRA mask semantics: coverage, merging, granularity (Section 4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import mask as m
+from repro.core.mask import PRAMask
+from repro.dram.geometry import FULL_MASK
+
+masks = st.integers(min_value=1, max_value=FULL_MASK)
+
+
+class TestPopcountAndGranularity:
+    def test_popcount_full(self):
+        assert m.popcount(FULL_MASK) == 8
+
+    def test_popcount_single(self):
+        for i in range(8):
+            assert m.popcount(1 << i) == 1
+
+    def test_granularity_range(self):
+        assert m.granularity_eighths(0b00000001) == 1
+        assert m.granularity_eighths(0b10000001) == 2
+        assert m.granularity_eighths(FULL_MASK) == 8
+
+    def test_granularity_rejects_empty(self):
+        with pytest.raises(ValueError):
+            m.granularity_eighths(0)
+
+    def test_activated_fraction(self):
+        assert m.activated_fraction(0b1111) == pytest.approx(0.5)
+        assert m.activated_fraction(FULL_MASK) == pytest.approx(1.0)
+
+
+class TestCoverage:
+    def test_full_row_covers_everything(self):
+        for needed in range(1, 256):
+            assert m.covers(FULL_MASK, needed)
+
+    def test_partial_covers_subset_only(self):
+        # Paper example: open mask 10000001b serves words 0 and 7 only.
+        open_mask = 0b10000001
+        assert m.covers(open_mask, 0b00000001)
+        assert m.covers(open_mask, 0b10000000)
+        assert m.covers(open_mask, 0b10000001)
+        assert not m.covers(open_mask, 0b00000010)  # false row buffer hit
+        assert not m.covers(open_mask, FULL_MASK)  # read against partial row
+
+    @given(masks)
+    def test_self_coverage(self, mask):
+        assert m.covers(mask, mask)
+
+    @given(masks, masks)
+    def test_coverage_iff_subset(self, open_mask, needed):
+        assert m.covers(open_mask, needed) == (needed & ~open_mask == 0)
+
+
+class TestMerge:
+    def test_paper_or_merge_example(self):
+        # Queued writes to the same row OR their masks (Section 5.2.1).
+        assert m.merge(0b10000001, 0b00000010) == 0b10000011
+
+    @given(masks, masks)
+    def test_merge_commutative(self, a, b):
+        assert m.merge(a, b) == m.merge(b, a)
+
+    @given(masks)
+    def test_merge_idempotent(self, a):
+        assert m.merge(a, a) == a
+
+    @given(masks, masks, masks)
+    def test_merge_associative(self, a, b, c):
+        assert m.merge(m.merge(a, b), c) == m.merge(a, m.merge(b, c))
+
+    @given(masks, masks)
+    def test_merged_mask_covers_both(self, a, b):
+        merged = m.merge(a, b)
+        assert m.covers(merged, a)
+        assert m.covers(merged, b)
+
+    @given(masks, masks)
+    def test_merge_never_shrinks_granularity(self, a, b):
+        merged = m.merge(a, b)
+        assert m.granularity_eighths(merged) >= m.granularity_eighths(a)
+        assert m.granularity_eighths(merged) >= m.granularity_eighths(b)
+
+
+class TestWordIndices:
+    @given(masks)
+    def test_roundtrip(self, mask):
+        words = m.word_indices(mask)
+        rebuilt = 0
+        for w in words:
+            rebuilt |= 1 << w
+        assert rebuilt == mask
+
+
+class TestPRAMaskClass:
+    def test_from_words(self):
+        pm = PRAMask.from_words([0, 7])
+        assert pm.bits == 0b10000001
+        assert pm.granularity == 2
+        assert str(pm) == "10000001b"
+
+    def test_full(self):
+        assert PRAMask.full().is_full
+        assert PRAMask.full().fraction == pytest.approx(1.0)
+
+    def test_or_operator(self):
+        assert (PRAMask(0b1) | PRAMask(0b10)).bits == 0b11
+
+    def test_covers(self):
+        assert PRAMask.full().covers(PRAMask(0b1010))
+        assert not PRAMask(0b1).covers(PRAMask(0b10))
+
+    def test_rejects_empty_and_oversized(self):
+        with pytest.raises(ValueError):
+            PRAMask(0)
+        with pytest.raises(ValueError):
+            PRAMask(0x100)
+
+    def test_rejects_bad_word_index(self):
+        with pytest.raises(ValueError):
+            PRAMask.from_words([8])
+
+    def test_words_listing(self):
+        assert PRAMask(0b10000001).words() == (0, 7)

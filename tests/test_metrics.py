@@ -1,0 +1,67 @@
+"""CMP metrics: weighted speedup (Eq. 3), normalization, EDP."""
+
+import pytest
+
+from repro.cpu.metrics import (
+    energy_delay_product,
+    normalized_performance,
+    weighted_speedup,
+)
+from repro.sim.runner import arithmetic_mean, geometric_mean
+
+
+class TestWeightedSpeedup:
+    def test_equation3(self):
+        ws = weighted_speedup([1.0, 2.0], [2.0, 2.0])
+        assert ws == pytest.approx(0.5 + 1.0)
+
+    def test_no_slowdown_gives_core_count(self):
+        assert weighted_speedup([1.5] * 4, [1.5] * 4) == pytest.approx(4.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+    def test_zero_alone_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestNormalization:
+    def test_normalized_performance(self):
+        assert normalized_performance(3.8, 4.0) == pytest.approx(0.95)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_performance(1.0, 0.0)
+
+
+class TestEDP:
+    def test_product(self):
+        assert energy_delay_product(2.0, 3.0) == 6.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            energy_delay_product(-1.0, 1.0)
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_geometric(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,206 @@
+"""Power model: Eq. 1-2, Table 2, Table 3 and Figure 9 reproduction."""
+
+import pytest
+
+from repro.power.energy_model import (
+    MATS_PER_SUBARRAY,
+    ActivationEnergyModel,
+    DieAreaModel,
+    FGDOverheadModel,
+)
+from repro.power.idd import (
+    activation_energy_pj,
+    pure_activation_current_ma,
+    pure_activation_power_mw,
+)
+from repro.power.params import DDR3_1600_POWER, TABLE3_ACT_MW, IDDValues, PowerParams
+
+
+class TestEquations1And2:
+    def test_reproduces_table3_full_row_power(self):
+        # Eq. 1-2 with the baseline IDD values must give the 22.2 mW
+        # full-row ACT power of Table 3.
+        power = pure_activation_power_mw(IDDValues())
+        assert power == pytest.approx(22.2, abs=0.1)
+
+    def test_background_subtraction(self):
+        idd = IDDValues()
+        current = pure_activation_current_ma(idd)
+        weighted_bg = (
+            idd.idd3n * idd.tras_ns + idd.idd2n * (idd.trc_ns - idd.tras_ns)
+        ) / idd.trc_ns
+        assert current == pytest.approx(idd.idd0 - weighted_bg)
+
+    def test_energy_per_activation(self):
+        idd = IDDValues()
+        assert activation_energy_pj(idd) == pytest.approx(
+            pure_activation_power_mw(idd) * idd.trc_ns
+        )
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            pure_activation_current_ma(IDDValues(tras_ns=50.0, trc_ns=40.0))
+
+
+class TestTable3ActPowers:
+    def test_exact_table3_values(self):
+        expected = [22.2, 19.6, 16.9, 14.3, 11.6, 9.1, 6.4, 3.7]
+        for granularity, value in zip(range(8, 0, -1), expected):
+            assert DDR3_1600_POWER.act_power(granularity) == pytest.approx(value)
+
+    def test_monotonic_in_granularity(self):
+        p = DDR3_1600_POWER
+        values = [p.act_power(g) for g in range(1, 9)]
+        assert values == sorted(values)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            DDR3_1600_POWER.act_power(0)
+        with pytest.raises(ValueError):
+            DDR3_1600_POWER.act_power(9)
+
+    def test_fraction_interpolation_matches_grid(self):
+        p = DDR3_1600_POWER
+        for g in range(1, 9):
+            assert p.act_power_fraction(g / 8) == pytest.approx(p.act_power(g))
+
+    def test_fraction_below_one_eighth_extrapolates(self):
+        p = DDR3_1600_POWER
+        # Half-DRAM+PRA: half a MAT group => 1/16 of a row.
+        val = p.act_power_fraction(1 / 16)
+        assert 0 < val < p.act_power(1)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            DDR3_1600_POWER.act_power_fraction(0.0)
+        with pytest.raises(ValueError):
+            DDR3_1600_POWER.act_power_fraction(1.01)
+
+    def test_other_power_params_match_table3(self):
+        p = DDR3_1600_POWER
+        assert p.pre_stby_mw == 27
+        assert p.pre_pdn_mw == 18
+        assert p.ref_mw == 210
+        assert p.act_stby_mw == 42
+        assert p.rd_mw == 78
+        assert p.wr_mw == 93
+        assert p.rd_io_mw == pytest.approx(4.6)
+        assert p.wr_odt_mw == pytest.approx(21.2)
+        assert p.rd_term_mw == pytest.approx(15.5)
+        assert p.wr_term_mw == pytest.approx(15.4)
+
+
+class TestTable2EnergyModel:
+    def test_per_mat_energy(self):
+        model = ActivationEnergyModel()
+        assert model.per_mat_pj == pytest.approx(16.921, abs=1e-3)
+
+    def test_full_row_energy(self):
+        assert ActivationEnergyModel().full_row_pj == pytest.approx(288.752, abs=1e-3)
+
+    def test_breakdown_sums_to_total(self):
+        model = ActivationEnergyModel()
+        assert sum(model.breakdown().values()) == pytest.approx(model.full_row_pj)
+
+    def test_bitline_dominates(self):
+        # "activation power is mainly consumed on the local bitlines".
+        breakdown = ActivationEnergyModel().breakdown()
+        assert breakdown["local_bitline"] > 0.8 * sum(
+            v for k, v in breakdown.items() if k != "local_bitline"
+        )
+
+
+class TestFigure9Scaling:
+    def test_energy_linear_in_mats(self):
+        model = ActivationEnergyModel()
+        diffs = [
+            model.energy_pj(m + 1) - model.energy_pj(m)
+            for m in range(1, MATS_PER_SUBARRAY)
+        ]
+        assert all(d == pytest.approx(model.per_mat_pj) for d in diffs)
+
+    def test_half_mats_above_half_energy(self):
+        # Fig. 9: halving MATs cannot halve energy (shared structures).
+        model = ActivationEnergyModel()
+        assert model.scaling_factor(8) > 0.5
+        assert model.scaling_factor(8) == pytest.approx(0.531, abs=0.01)
+
+    def test_scaling_factors_match_table3_ratios(self):
+        # The paper projects these factors onto P_ACT to build Table 3.
+        model = ActivationEnergyModel()
+        full = TABLE3_ACT_MW[8]
+        for g in range(1, 9):
+            projected = full * model.scaling_factor(2 * g)
+            assert projected == pytest.approx(TABLE3_ACT_MW[g], abs=0.5)
+
+    def test_bounds_checked(self):
+        model = ActivationEnergyModel()
+        with pytest.raises(ValueError):
+            model.energy_pj(0)
+        with pytest.raises(ValueError):
+            model.energy_pj(17)
+
+
+class TestDieArea:
+    def test_total_area_matches_table2(self):
+        assert DieAreaModel().total_mm2 == pytest.approx(11.884, abs=1e-3)
+
+    def test_pra_latch_overhead_small(self):
+        # Section 4.2: PRA latches are a ~0.1% class overhead.
+        overhead = DieAreaModel().pra_latch_overhead()
+        assert 0 < overhead < 0.005
+
+    def test_wordline_gate_overhead(self):
+        assert DieAreaModel().wordline_gate_overhead() == pytest.approx(0.03)
+
+
+class TestFGDOverheads:
+    def test_paper_cacti_numbers(self):
+        fgd = FGDOverheadModel()
+        assert fgd.l1_area == pytest.approx(0.0031)
+        assert fgd.l2_area == pytest.approx(0.0109)
+        assert fgd.l1_leakage == pytest.approx(0.0126)
+        assert fgd.l2_leakage == pytest.approx(0.0139)
+
+    def test_extra_bits(self):
+        assert FGDOverheadModel.extra_bits_per_line() == 7
+
+    def test_storage_overhead_order_of_magnitude(self):
+        frac = FGDOverheadModel.storage_overhead_fraction()
+        assert 0.005 < frac < 0.02
+
+
+class TestScaledParams:
+    def test_scaled_act_row(self):
+        model = ActivationEnergyModel()
+        scaled = DDR3_1600_POWER.scaled(model.granularity_scaling())
+        assert scaled.act_power(8) == pytest.approx(22.2)
+        assert scaled.act_power(4) == pytest.approx(22.2 * model.scaling_factor(8))
+
+    def test_scaled_requires_eight_factors(self):
+        with pytest.raises(ValueError):
+            DDR3_1600_POWER.scaled((0.5, 1.0))
+
+
+class TestVoltageScaling:
+    def test_ddr3l_reduces_power(self):
+        low = DDR3_1600_POWER.at_voltage(1.35)
+        ratio_dyn = (1.35 / 1.5) ** 2
+        assert low.act_power(8) == pytest.approx(22.2 * ratio_dyn)
+        assert low.rd_mw == pytest.approx(78 * ratio_dyn)
+        assert low.pre_pdn_mw == pytest.approx(18 * 1.35 / 1.5)
+        assert low.idd.vdd == pytest.approx(1.35)
+
+    def test_identity_at_nominal(self):
+        same = DDR3_1600_POWER.at_voltage(1.5)
+        assert same.act_power(8) == pytest.approx(22.2)
+        assert same.ref_mw == pytest.approx(210)
+
+    def test_invalid_voltage(self):
+        with pytest.raises(ValueError):
+            DDR3_1600_POWER.at_voltage(0.0)
+
+    def test_partial_ordering_preserved(self):
+        low = DDR3_1600_POWER.at_voltage(1.35)
+        values = [low.act_power(g) for g in range(1, 9)]
+        assert values == sorted(values)

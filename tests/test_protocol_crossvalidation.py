@@ -1,0 +1,104 @@
+"""Cross-validation: device predicates vs the independent checker.
+
+The scheduler trusts the Bank/Rank/Channel ``can_*`` predicates; the
+protocol checker re-implements the same DDR3 rules from scratch.  Here
+a random driver issues only predicate-approved commands and replays
+every one through the checker: any divergence between the two
+implementations fails the test.  (This is the opposite direction of
+``tests/test_protocol.py``'s full-system verification, which exercises
+the scheduler; this one exercises the raw device model.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.channel import Channel
+from repro.dram.geometry import FULL_MASK
+from repro.dram.protocol import Cmd, CommandRecord, ProtocolChecker, ProtocolViolation
+from repro.dram.timing import DDR3_1600
+
+T = DDR3_1600
+
+programs = st.lists(
+    st.tuples(
+        st.sampled_from(["act", "read", "write", "pre"]),
+        st.integers(min_value=0, max_value=1),   # rank
+        st.integers(min_value=0, max_value=7),   # bank
+        st.integers(min_value=0, max_value=7),   # row
+        st.integers(min_value=1, max_value=255),  # mask
+        st.integers(min_value=0, max_value=8),   # time stride
+    ),
+    min_size=5,
+    max_size=150,
+)
+
+
+@given(programs, st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_predicate_approved_commands_pass_the_checker(program, relaxed):
+    channel = Channel(T, num_ranks=2, relax_act_constraints=relaxed)
+    checker = ProtocolChecker(T, relax_act_constraints=relaxed)
+    cycle = 0
+    cmd_bus_free = 0
+    for action, rank_idx, bank_idx, row, mask, stride in program:
+        cycle += stride
+        if cycle < cmd_bus_free:
+            cycle = cmd_bus_free
+        rank = channel.ranks[rank_idx]
+        bank = rank.banks[bank_idx]
+        granularity = bin(mask).count("1")
+        try:
+            if action == "act":
+                if not rank.can_activate(cycle, bank_idx, granularity):
+                    continue
+                masked = mask != FULL_MASK
+                bank.activate(cycle, row, mask)
+                rank.record_activate(cycle, granularity)
+                checker.observe(CommandRecord(
+                    cycle=cycle, cmd=Cmd.ACT, rank=rank_idx, bank=bank_idx,
+                    row=row, mask=mask, granularity=granularity, masked=masked))
+                cmd_bus_free = cycle + (2 if masked else 1)
+            elif action in ("read", "write"):
+                is_read = action == "read"
+                if is_read and not rank.can_read(cycle, bank_idx):
+                    continue
+                if not is_read and not rank.can_write(cycle, bank_idx):
+                    continue
+                # Coverage: only issue if the open mask covers a
+                # random needed subset (mirror the controller).
+                needed = bank.open_mask if not is_read else FULL_MASK
+                if needed & ~bank.open_mask:
+                    continue
+                if is_read and bank.open_mask != FULL_MASK:
+                    continue  # a read against a partial row = false hit
+                delay = T.tcas if is_read else T.tcwl
+                burst_start = channel.earliest_burst_start(cycle + delay, rank_idx)
+                if burst_start > cycle + delay:
+                    continue
+                if is_read:
+                    bank.read(cycle)
+                else:
+                    bank.write(cycle)
+                burst_end = channel.occupy_data_bus(cycle + delay, rank_idx)
+                if is_read:
+                    rank.record_read(cycle)
+                else:
+                    bank.pre_ready = max(bank.pre_ready, burst_end + T.twr)
+                    rank.record_write(cycle, burst_end)
+                checker.observe(CommandRecord(
+                    cycle=cycle, cmd=Cmd.RD if is_read else Cmd.WR,
+                    rank=rank_idx, bank=bank_idx,
+                    burst_start=cycle + delay, burst_end=burst_end,
+                    needed_mask=needed))
+                cmd_bus_free = cycle + 1
+            elif action == "pre":
+                if not bank.can_precharge(cycle):
+                    continue
+                bank.precharge(cycle)
+                checker.observe(CommandRecord(
+                    cycle=cycle, cmd=Cmd.PRE, rank=rank_idx, bank=bank_idx))
+                cmd_bus_free = cycle + 1
+        except ProtocolViolation as exc:  # pragma: no cover - divergence
+            pytest.fail(f"device model and checker diverge: {exc}")
+    assert checker.commands_checked >= 0

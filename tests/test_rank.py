@@ -1,0 +1,157 @@
+"""Rank-level constraints: tRRD/tFAW (+ PRA relaxation), power-down, refresh."""
+
+import pytest
+
+from repro.dram.bank import BankStateError
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR3_1600
+
+T = DDR3_1600
+
+
+@pytest.fixture
+def rank():
+    return Rank(T, num_banks=8)
+
+
+@pytest.fixture
+def relaxed_rank():
+    return Rank(T, num_banks=8, relax_act_constraints=True)
+
+
+def _activate(rank, cycle, bank, row=1, granularity=8):
+    rank.banks[bank].activate(cycle, row)
+    rank.record_activate(cycle, granularity)
+
+
+class TestTRRD:
+    def test_back_to_back_acts_blocked(self, rank):
+        assert rank.can_activate(0, 0)
+        _activate(rank, 0, 0)
+        assert not rank.can_activate(T.trrd - 1, 1)
+        assert rank.can_activate(T.trrd, 1)
+
+    def test_relaxed_trrd_for_partial(self, relaxed_rank):
+        # A 1/8 activation shrinks the ACT-to-ACT spacing (Sec 4.1.3).
+        relaxed_rank.banks[0].activate(0, 1)
+        relaxed_rank.record_activate(0, granularity_eighths=1)
+        assert relaxed_rank.can_activate(2, 1)
+
+    def test_unrelaxed_rank_ignores_granularity(self, rank):
+        _activate(rank, 0, 0, granularity=1)
+        assert not rank.can_activate(2, 1)
+        assert rank.can_activate(T.trrd, 1)
+
+
+class TestTFAW:
+    def test_fifth_act_waits_for_window(self, rank):
+        cycle = 0
+        for bank in range(4):
+            assert rank.can_activate(cycle, bank)
+            _activate(rank, cycle, bank)
+            cycle += T.trrd
+        # 4 ACTs at 0,5,10,15; window = 24 => fifth must wait past 24.
+        assert not rank.can_activate(20, 4)
+        assert rank.can_activate(25, 4)
+
+    def test_relaxed_faw_with_partial_acts(self, relaxed_rank):
+        # Eight 1/8-row ACTs weigh 1.0 total; all fit in one window.
+        cycle = 0
+        for bank in range(8):
+            assert relaxed_rank.can_activate(cycle, bank, granularity_eighths=1)
+            relaxed_rank.banks[bank].activate(cycle, 1)
+            relaxed_rank.record_activate(cycle, 1)
+            cycle += 2
+        assert relaxed_rank.faw.weight_in_window(cycle) == pytest.approx(1.0)
+
+    def test_earliest_activate_accounts_for_faw(self, rank):
+        cycle = 0
+        for bank in range(4):
+            _activate(rank, cycle, bank)
+            cycle += T.trrd
+        est = rank.earliest_activate(16, 4)
+        assert est >= 25
+        assert rank.can_activate(est, 4)
+
+
+class TestColumnTurnaround:
+    def test_write_to_read_needs_twtr(self, rank):
+        _activate(rank, 0, 0)
+        wr_cycle = T.trcd
+        burst_end = rank.banks[0].write(wr_cycle)
+        rank.record_write(wr_cycle, burst_end)
+        assert not rank.can_read(burst_end + T.twtr - 1, 0)
+        assert rank.can_read(burst_end + T.twtr, 0)
+
+    def test_ccd_across_banks(self, rank):
+        _activate(rank, 0, 0)
+        _activate(rank, T.trrd, 1)
+        rank.banks[0].read(T.trcd)
+        rank.record_read(T.trcd)
+        # Bank 1 column must respect rank-level tCCD.
+        assert not rank.can_read(T.trcd + T.tccd - 1, 1)
+
+
+class TestPowerDown:
+    def test_enter_requires_all_precharged(self, rank):
+        _activate(rank, 0, 0)
+        with pytest.raises(BankStateError):
+            rank.enter_power_down(5)
+
+    def test_enter_exit_cycle(self, rank):
+        rank.enter_power_down(10)
+        assert rank.powered_down
+        assert not rank.can_activate(20, 0)
+        ready = rank.exit_power_down(20)
+        assert ready == 20 + T.txp
+        assert not rank.powered_down
+        assert not rank.can_activate(ready - 1, 0)
+        assert rank.can_activate(ready, 0)
+
+    def test_background_residency_tracks_pd(self, rank):
+        rank.enter_power_down(10)
+        rank.exit_power_down(30)
+        rank.accrue_background(50)
+        assert rank.bg_residency["pre_stby"] == 10 + 20
+        assert rank.bg_residency["pre_pdn"] == 20
+
+
+class TestBackgroundResidency:
+    def test_active_standby_when_bank_open(self, rank):
+        rank.accrue_background(10)  # 10 cycles precharged
+        _activate(rank, 10, 0)
+        rank.accrue_background(40)  # 30 cycles active
+        assert rank.bg_residency["pre_stby"] == 10
+        assert rank.bg_residency["act_stby"] == 30
+
+    def test_accrue_is_monotonic(self, rank):
+        rank.accrue_background(100)
+        rank.accrue_background(50)  # earlier cycle: no-op
+        assert sum(rank.bg_residency.values()) == 100
+
+
+class TestRefresh:
+    def test_refresh_due_schedule(self, rank):
+        assert not rank.refresh_due(T.trefi - 1)
+        assert rank.refresh_due(T.trefi)
+
+    def test_refresh_blocks_rank(self, rank):
+        rank.do_refresh(T.trefi)
+        assert rank.refresh_until == T.trefi + T.trfc
+        assert not rank.can_activate(T.trefi + T.trfc - 1, 0)
+        assert rank.can_activate(T.trefi + T.trfc, 0)
+
+    def test_refresh_requires_precharged(self, rank):
+        _activate(rank, 0, 0)
+        with pytest.raises(BankStateError):
+            rank.do_refresh(T.trefi)
+
+    def test_catch_up_is_bounded(self, rank):
+        # After a long idle skip we bunch at most ~8 refreshes.
+        late = 100 * T.trefi
+        count = 0
+        while rank.refresh_due(late) and count < 50:
+            rank.do_refresh(late)
+            late += T.trfc
+            count += 1
+        assert count <= 10

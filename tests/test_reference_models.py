@@ -1,0 +1,198 @@
+"""Differential tests against brute-force reference models.
+
+Each test pits a production data structure against a deliberately
+naive re-implementation under random operation sequences:
+
+* :class:`SetAssociativeCache` vs a list-based LRU model,
+* :class:`RequestQueue` vs a plain list,
+* the FGD cache hierarchy vs a *dirty-bit conservation* ledger — the
+  invariant PRA's correctness rests on: every word a store dirtied is
+  either still dirty in some cache or was carried by a writeback mask
+  (a lost dirty bit would mean silent data loss under partial-row
+  writes).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.controller.queues import RequestQueue, row_key
+from repro.dram.commands import Address, ReqKind, Request
+
+
+# ----------------------------------------------------------------------
+# Cache vs naive LRU reference
+# ----------------------------------------------------------------------
+class NaiveLRUCache:
+    """Per-set python-list LRU; obviously correct, hopelessly slow."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = [[] for _ in range(sets)]  # list of (addr, mask), MRU last
+        self.ways = ways
+        self.num_sets = sets
+
+    def access(self, addr: int, mask: int):
+        entries = self.sets[addr % self.num_sets]
+        victim = None
+        for idx, (a, m) in enumerate(entries):
+            if a == addr:
+                entries.pop(idx)
+                entries.append((addr, m | mask))
+                return True, victim
+        if len(entries) >= self.ways:
+            victim = entries.pop(0)
+        entries.append((addr, mask))
+        return False, victim
+
+    def state(self):
+        return {a: m for entries in self.sets for a, m in entries}
+
+
+cache_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(cache_ops)
+@settings(max_examples=80, deadline=None)
+def test_cache_matches_naive_lru(ops):
+    sets, ways = 4, 2
+    real = SetAssociativeCache(capacity_bytes=sets * ways * 64, ways=ways)
+    ref = NaiveLRUCache(sets, ways)
+    for addr, mask in ops:
+        hit, victim = real.access(addr, write_mask=mask)
+        ref_hit, ref_victim = ref.access(addr, mask)
+        assert hit == ref_hit, f"hit mismatch at {addr}"
+        if ref_victim is None:
+            assert victim is None
+        else:
+            assert victim is not None
+            assert (victim.line_addr, victim.dirty_mask) == ref_victim
+    real_state = {
+        line.line_addr: line.dirty_mask
+        for cache_set in real._sets
+        for line in cache_set.values()
+    }
+    assert real_state == ref.state()
+
+
+# ----------------------------------------------------------------------
+# RequestQueue vs plain list
+# ----------------------------------------------------------------------
+queue_programs = st.lists(
+    st.tuples(
+        st.sampled_from(["append", "remove_oldest", "remove_row_oldest"]),
+        st.integers(min_value=0, max_value=3),  # row
+        st.integers(min_value=0, max_value=1),  # rank
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(queue_programs)
+@settings(max_examples=80, deadline=None)
+def test_queue_matches_list_model(program):
+    real = RequestQueue(256)
+    ref = []  # list of Request, arrival order
+    for op, row, rank in program:
+        if op == "append":
+            req = Request(
+                kind=ReqKind.READ,
+                addr=Address(channel=0, rank=rank, bank=0, row=row, column=0),
+                arrive_cycle=0,
+            )
+            real.append(req)
+            ref.append(req)
+        elif op == "remove_oldest" and ref:
+            victim = ref.pop(0)
+            real.remove(victim)
+        elif op == "remove_row_oldest":
+            key = (rank, 0, row)
+            candidates = [r for r in ref if row_key(r) == key]
+            assert real.oldest_for_row(key) is (
+                candidates[0] if candidates else None
+            )
+            if candidates:
+                ref.remove(candidates[0])
+                real.remove(candidates[0])
+        # Invariants after every op.
+        assert len(real) == len(ref)
+        assert real.oldest() is (ref[0] if ref else None)
+        for rk in (0, 1):
+            expected = sum(1 for r in ref if r.addr.rank == rk)
+            assert real.pending_for_rank(rk) == expected
+    for row in range(4):
+        for rank in range(2):
+            key = (rank, 0, row)
+            expected = [r for r in ref if row_key(r) == key]
+            assert real.requests_for_row(key) == expected
+
+
+# ----------------------------------------------------------------------
+# FGD dirty-bit conservation through the hierarchy
+# ----------------------------------------------------------------------
+fgd_programs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),   # line address
+        st.integers(min_value=0, max_value=255),  # store mask (0 = load)
+        st.booleans(),                            # use core 0 / core 1
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+@given(fgd_programs, st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_fgd_dirty_bits_are_conserved(program, use_l1):
+    """No store's dirty words may ever be dropped on the floor."""
+    l2 = SetAssociativeCache(capacity_bytes=8 * 64, ways=2, name="L2")
+    l1s = None
+    if use_l1:
+        l1s = [
+            SetAssociativeCache(capacity_bytes=2 * 64, ways=2, name=f"L1-{i}")
+            for i in range(2)
+        ]
+    hierarchy = CacheHierarchy(l2, l1s=l1s)
+
+    expected = {}     # line -> OR of all store masks
+    written_back = {}  # line -> OR of all writeback masks seen
+
+    for line, mask, second_core in program:
+        core = 1 if (second_core and use_l1) else 0
+        traffic = hierarchy.access(core, line, write_mask=mask)
+        if mask:
+            expected[line] = expected.get(line, 0) | mask
+        for wb_line, wb_mask in traffic.writebacks:
+            written_back[wb_line] = written_back.get(wb_line, 0) | wb_mask
+
+    # Drain everything still resident (L1 victims funnel through L2;
+    # an install can itself evict a dirty L2 line, which must be
+    # captured like any other writeback).
+    if l1s:
+        for core_id, l1 in enumerate(l1s):
+            for cache_set in list(l1._sets):
+                for cl in list(cache_set.values()):
+                    if cl.dirty:
+                        victim = l2.install(cl.line_addr, cl.clean())
+                        if victim is not None and victim.dirty:
+                            written_back[victim.line_addr] = (
+                                written_back.get(victim.line_addr, 0)
+                                | victim.dirty_mask
+                            )
+    for wb_line, wb_mask in hierarchy.flush_dirty():
+        written_back[wb_line] = written_back.get(wb_line, 0) | wb_mask
+
+    for line, mask in expected.items():
+        assert written_back.get(line, 0) & mask == mask, (
+            f"line {line}: stored mask {mask:08b} but only "
+            f"{written_back.get(line, 0):08b} ever written back"
+        )

@@ -1,0 +1,97 @@
+"""Experiment runner: caching, weighted speedup plumbing, normalization."""
+
+import pytest
+
+from repro.controller.policies import RowPolicy
+from repro.core.schemes import BASELINE, PRA
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.runner import (
+    DEFAULT_EVENTS_PER_CORE,
+    ExperimentRunner,
+    default_events_per_core,
+)
+from repro.workloads.mixes import Workload
+from repro.workloads.profiles import profile
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(
+        events_per_core=800,
+        base_config=SystemConfig(cache=CacheConfig(llc_bytes=256 * 1024)),
+        warmup_events_per_core=4000,
+    )
+
+
+class TestCaching:
+    def test_same_key_returns_cached_object(self, runner):
+        a = runner.run("GUPS", BASELINE)
+        b = runner.run("GUPS", BASELINE)
+        assert a is b
+
+    def test_different_scheme_not_cached(self, runner):
+        a = runner.run("GUPS", BASELINE)
+        b = runner.run("GUPS", PRA)
+        assert a is not b
+
+    def test_string_and_object_workloads_share_cache(self, runner):
+        from repro.workloads.mixes import workload
+
+        a = runner.run("GUPS", BASELINE)
+        b = runner.run(workload("GUPS"), BASELINE)
+        assert a is b
+
+
+class TestWeightedSpeedup:
+    def test_alone_ipcs_one_per_app(self, runner):
+        ipcs = runner.alone_ipcs("MIX2")
+        assert len(ipcs) == 4
+        assert all(ipc > 0 for ipc in ipcs)
+
+    def test_ws_bounded_by_core_count(self, runner):
+        ws = runner.weighted_speedup("GUPS", BASELINE)
+        assert 0 < ws <= 4.3  # shared can rarely beat alone slightly
+
+    def test_normalized_performance_near_one_for_baseline(self, runner):
+        assert runner.normalized_performance("GUPS", BASELINE) == pytest.approx(1.0)
+
+    def test_pra_performance_close_to_baseline(self, runner):
+        perf = runner.normalized_performance("GUPS", PRA)
+        assert 0.85 < perf < 1.1
+
+
+class TestNormalizedMetrics:
+    def test_baseline_normalizes_to_one(self, runner):
+        assert runner.normalized_power("GUPS", BASELINE) == pytest.approx(1.0)
+        assert runner.normalized_energy("GUPS", BASELINE) == pytest.approx(1.0)
+        assert runner.normalized_edp("GUPS", BASELINE) == pytest.approx(1.0)
+
+    def test_pra_reduces_power_energy_edp(self, runner):
+        assert runner.normalized_power("GUPS", PRA) < 0.95
+        assert runner.normalized_energy("GUPS", PRA) < 0.95
+        assert runner.normalized_edp("GUPS", PRA) < 1.0
+
+    def test_category_normalization(self, runner):
+        act = runner.normalized_power("GUPS", PRA, category="act_pre")
+        assert act < 0.9
+
+    def test_policy_dimension(self, runner):
+        restricted = runner.run("GUPS", BASELINE, RowPolicy.RESTRICTED_CLOSE)
+        relaxed = runner.run("GUPS", BASELINE, RowPolicy.RELAXED_CLOSE)
+        assert restricted is not relaxed
+        assert restricted.policy_name == "restricted-close-page"
+
+
+class TestDefaults:
+    def test_default_events(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EVENTS", raising=False)
+        assert default_events_per_core() == DEFAULT_EVENTS_PER_CORE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENTS", "1234")
+        assert default_events_per_core() == 1234
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENTS", "-3")
+        with pytest.raises(ValueError):
+            default_events_per_core()

@@ -1,0 +1,128 @@
+"""Scheme configurations: the Baseline/FGA/Half-DRAM/PRA matrix."""
+
+import pytest
+
+from repro.core.schemes import (
+    ALL_SCHEMES,
+    BASELINE,
+    DBI,
+    DBI_PRA,
+    FGA,
+    HALF_DRAM,
+    HALF_DRAM_PRA,
+    MAIN_SCHEMES,
+    PRA,
+    Scheme,
+    by_name,
+)
+
+
+class TestBaseline:
+    def test_full_everything(self):
+        assert BASELINE.read_fraction == 1.0
+        assert BASELINE.write_fraction == 1.0
+        assert not BASELINE.write_uses_mask
+        assert BASELINE.burst_multiplier == 1
+        assert not BASELINE.relax_act_constraints
+        assert not BASELINE.scale_write_io
+        assert not BASELINE.dbi
+
+
+class TestFGA:
+    def test_half_activation_both_directions(self):
+        assert FGA.read_fraction == 0.5
+        assert FGA.write_fraction == 0.5
+
+    def test_bandwidth_halved(self):
+        # FGA breaks n-bit prefetch: double bus occupancy per line.
+        assert FGA.burst_multiplier == 2
+
+    def test_no_write_io_saving(self):
+        assert not FGA.scale_write_io
+
+
+class TestHalfDRAM:
+    def test_half_activation_full_bandwidth(self):
+        assert HALF_DRAM.read_fraction == 0.5
+        assert HALF_DRAM.write_fraction == 0.5
+        assert HALF_DRAM.burst_multiplier == 1
+
+    def test_relaxed_timing(self):
+        assert HALF_DRAM.relax_act_constraints
+
+
+class TestPRA:
+    def test_asymmetric_activation(self):
+        # Reads: full row (bandwidth); writes: FGD-masked partial rows.
+        assert PRA.read_fraction == 1.0
+        assert PRA.write_uses_mask
+        assert PRA.is_partial_write
+
+    def test_write_io_scaling(self):
+        assert PRA.scale_write_io
+
+    def test_mask_extra_cycle(self):
+        assert PRA.masked_act_extra_cycle
+
+    def test_relaxed_timing(self):
+        assert PRA.relax_act_constraints
+
+
+class TestCombinations:
+    def test_half_dram_pra(self):
+        assert HALF_DRAM_PRA.read_fraction == 0.5
+        assert HALF_DRAM_PRA.write_uses_mask
+        assert HALF_DRAM_PRA.mask_scale == 0.5
+
+    def test_dbi_variants(self):
+        assert DBI.dbi and not DBI.write_uses_mask
+        assert DBI_PRA.dbi and DBI_PRA.write_uses_mask
+
+    def test_with_dbi_builder(self):
+        pra_dbi = PRA.with_dbi()
+        assert pra_dbi.dbi
+        assert pra_dbi.write_uses_mask
+        assert pra_dbi.name == "PRA+DBI"
+        assert not PRA.dbi  # original untouched
+
+
+class TestRegistry:
+    def test_main_schemes_order(self):
+        assert [s.name for s in MAIN_SCHEMES] == [
+            "Baseline",
+            "FGA",
+            "Half-DRAM",
+            "PRA",
+        ]
+
+    def test_by_name_case_insensitive(self):
+        assert by_name("pra") is PRA
+        assert by_name("half-dram") is HALF_DRAM
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("nonexistent")
+
+    def test_all_schemes_complete(self):
+        assert set(ALL_SCHEMES) == {
+            "Baseline",
+            "FGA",
+            "Half-DRAM",
+            "PRA",
+            "Half-DRAM+PRA",
+            "DBI",
+            "DBI+PRA",
+            "PRA-DM",
+        }
+
+
+class TestValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            Scheme(name="bad", read_fraction=0.0)
+        with pytest.raises(ValueError):
+            Scheme(name="bad", write_fraction=1.5)
+
+    def test_burst_multiplier_bounds(self):
+        with pytest.raises(ValueError):
+            Scheme(name="bad", burst_multiplier=0)

@@ -1,0 +1,101 @@
+"""SDS comparator (Section 3): PRA vs Skinflint granularity reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sds import (
+    GranularityComparison,
+    SDSComparator,
+    StoreWidthModel,
+    masks_from_distribution,
+)
+
+masks = st.integers(min_value=1, max_value=0xFF)
+
+
+class TestStoreWidthModel:
+    def test_default_valid(self):
+        model = StoreWidthModel()
+        assert sum(p for _, p in model.widths) == pytest.approx(1.0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            StoreWidthModel(widths=((8, 0.5),))
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            StoreWidthModel(widths=((3, 1.0),))
+
+    def test_sampling_in_support(self):
+        import random
+
+        model = StoreWidthModel()
+        rng = random.Random(1)
+        widths = {model.sample(rng) for _ in range(200)}
+        assert widths <= {1, 2, 4, 8}
+
+
+class TestByteColumns:
+    @given(masks)
+    @settings(max_examples=100)
+    def test_columns_nonempty_and_bounded(self, mask):
+        comp = SDSComparator(seed=1)
+        cols = comp.byte_columns_for_mask(mask)
+        assert 0 < cols <= 0xFF
+
+    def test_full_width_stores_touch_all_columns(self):
+        comp = SDSComparator(StoreWidthModel(widths=((8, 1.0),)), seed=1)
+        # Any single dirty word with an 8-byte store dirties all 8
+        # byte positions: SDS cannot skip any chip.
+        assert comp.byte_columns_for_mask(0b1) == 0xFF
+
+    def test_single_byte_store_touches_one_column(self):
+        comp = SDSComparator(StoreWidthModel(widths=((1, 1.0),)), seed=1)
+        cols = comp.byte_columns_for_mask(0b1)
+        assert bin(cols).count("1") == 1
+
+
+class TestComparison:
+    def test_pra_fraction_from_popcount(self):
+        comp = SDSComparator(seed=2)
+        result = comp.compare([0b1, 0b11, 0xFF])
+        assert result.lines == 3
+        assert result.pra_mean_fraction == pytest.approx((1 + 2 + 8) / 24)
+
+    def test_reductions_complementary(self):
+        comp = SDSComparator(seed=2)
+        result = comp.compare([0b1] * 10)
+        assert result.pra_reduction == pytest.approx(1 - result.pra_mean_fraction)
+        assert result.sds_reduction == pytest.approx(1 - result.sds_mean_fraction)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            SDSComparator().compare([])
+
+    def test_paper_section3_shape(self):
+        # Single-word-dirty traffic: PRA reduces granularity far more
+        # than SDS can reduce chip accesses (42% vs 16% in the paper,
+        # measured over the whole workload suite).
+        dist = ((1, 0.8), (2, 0.15), (8, 0.05))
+        stream = masks_from_distribution(dist, 2000, seed=3)
+        result = SDSComparator(seed=4).compare(stream)
+        assert result.pra_reduction > 2 * result.sds_reduction
+        assert result.pra_reduction > 0.5
+        assert result.sds_reduction < 0.35
+
+
+class TestMasksFromDistribution:
+    def test_count_and_range(self):
+        stream = masks_from_distribution(((1, 0.5), (8, 0.5)), 100, seed=1)
+        assert len(stream) == 100
+        assert all(0 < m <= 0xFF for m in stream)
+
+    def test_full_line_mask(self):
+        stream = masks_from_distribution(((8, 1.0),), 10, seed=1)
+        assert all(m == 0xFF for m in stream)
+
+    def test_deterministic(self):
+        a = masks_from_distribution(((1, 1.0),), 50, seed=9)
+        b = masks_from_distribution(((1, 1.0),), 50, seed=9)
+        assert a == b

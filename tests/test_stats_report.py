@@ -1,0 +1,170 @@
+"""Latency histograms and ASCII report helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.histogram import LatencyHistogram
+from repro.stats.report import (
+    bar,
+    format_breakdown,
+    format_comparison,
+    format_histogram,
+    format_table,
+)
+
+
+class TestHistogramBasics:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.samples == 0
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_single_sample(self):
+        h = LatencyHistogram()
+        h.record(37)
+        assert h.samples == 1
+        assert h.mean == 37
+        assert h.min_value == h.max_value == 37
+        assert h.percentile(0) == 37
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(base=1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(max_buckets=2)
+
+    def test_percentile_bounds_checked(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_summary_keys(self):
+        h = LatencyHistogram()
+        h.extend([10, 20, 30])
+        summary = h.summary()
+        assert summary["samples"] == 3
+        assert summary["mean"] == pytest.approx(20)
+        assert {"p50", "p95", "p99", "min", "max"} <= set(summary)
+
+
+class TestHistogramAccuracy:
+    @given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=5,
+                    max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_percentiles_within_bucket_error(self, values):
+        h = LatencyHistogram()
+        h.extend(values)
+        exact = sorted(values)
+        n = len(exact)
+        for p in (50, 95):
+            approx = h.percentile(p)
+            lo_ref = exact[max(0, (n * p) // 100 - 1)]
+            hi_ref = exact[min(n - 1, -(-(n * p) // 100))]
+            # Geometric buckets: relative error bounded by the base,
+            # plus slack for tiny absolute values.
+            assert approx <= hi_ref * 1.4 + 3
+            assert approx >= lo_ref / 1.4 - 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                    max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_mean_exact_and_percentiles_monotone(self, values):
+        h = LatencyHistogram()
+        h.extend(values)
+        assert h.mean == pytest.approx(sum(values) / len(values))
+        ps = [h.percentile(p) for p in (0, 25, 50, 75, 95, 100)]
+        assert ps == sorted(ps)
+        assert h.min_value <= ps[0]
+        assert ps[-1] <= h.max_value
+
+    def test_merge_equals_combined(self):
+        a, b, combined = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        xs, ys = [5, 100, 2000], [1, 50, 50, 9999]
+        a.extend(xs)
+        b.extend(ys)
+        combined.extend(xs + ys)
+        a.merge(b)
+        assert a.samples == combined.samples
+        assert a.total == combined.total
+        assert a.percentile(50) == combined.percentile(50)
+
+    def test_merge_shape_mismatch(self):
+        a = LatencyHistogram(base=1.3)
+        b = LatencyHistogram(base=1.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_into_empty(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        b.extend([7, 8])
+        a.merge(b)
+        assert a.samples == 2
+        assert a.min_value == 7
+
+
+class TestBar:
+    def test_full_and_partial(self):
+        assert bar(10, 10, width=10) == "#" * 10
+        assert bar(5, 10, width=10) == "#" * 5
+
+    def test_clamps_overflow(self):
+        assert bar(100, 10, width=10) == "#" * 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bar(1, 0)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"), [("a", 1.5), ("bb", 20.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "20.250" in lines[3]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table((), [])
+
+    def test_format_breakdown(self):
+        text = format_breakdown({"act_pre": 0.25, "bg": 0.75}, width=8)
+        assert "act_pre" in text
+        assert "25.0%" in text
+
+    def test_format_comparison(self):
+        text = format_comparison({"power": 100.0}, {"power": 80.0})
+        assert "0.800" in text
+
+    def test_format_histogram(self):
+        h = LatencyHistogram()
+        h.extend([10, 10, 500])
+        text = format_histogram(h)
+        assert "n=3" in text
+        assert "#" in text
+
+
+class TestControllerIntegration:
+    def test_latency_histogram_populated_by_runs(self):
+        from repro.sim.config import CacheConfig, SystemConfig
+        from repro.sim.system import simulate
+        from repro.workloads.mixes import workload
+
+        config = SystemConfig(cache=CacheConfig(llc_bytes=128 * 1024))
+        result = simulate(config, workload("GUPS"), 600,
+                          warmup_events_per_core=1500)
+        hist = result.controller.reads.latency_hist
+        assert hist.samples == result.controller.reads.served
+        assert hist.percentile(50) > 15  # at least ACT+CAS+burst
+        assert hist.max_value == result.controller.reads.latency_max

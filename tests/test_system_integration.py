@@ -1,0 +1,182 @@
+"""End-to-end integration: full-system runs and cross-module invariants."""
+
+import pytest
+
+from repro.controller.policies import RowPolicy
+from repro.core.schemes import BASELINE, DBI_PRA, FGA, HALF_DRAM, HALF_DRAM_PRA, PRA
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.system import System, simulate
+from repro.workloads.mixes import Workload, homogeneous, workload
+from repro.workloads.profiles import profile
+
+EVENTS = 1200
+WARMUP = 4000  # small but enough for a small LLC
+
+
+def small_config(scheme=BASELINE, policy=RowPolicy.RELAXED_CLOSE):
+    # A 256 kB LLC keeps warmup fast while still producing evictions.
+    return SystemConfig(
+        scheme=scheme,
+        policy=policy,
+        cache=CacheConfig(llc_bytes=256 * 1024),
+    )
+
+
+def run(scheme=BASELINE, policy=RowPolicy.RELAXED_CLOSE, wl="GUPS", events=EVENTS):
+    wl = workload(wl) if isinstance(wl, str) else wl
+    return simulate(
+        small_config(scheme, policy), wl, events, warmup_events_per_core=WARMUP
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_gups():
+    return run(BASELINE)
+
+
+@pytest.fixture(scope="module")
+def pra_gups():
+    return run(PRA)
+
+
+class TestCompletion:
+    def test_all_cores_finish(self, baseline_gups):
+        assert all(c.finish_cycle > 0 for c in baseline_gups.cores)
+        assert all(c.retired_instructions > 0 for c in baseline_gups.cores)
+
+    def test_runtime_positive(self, baseline_gups):
+        assert baseline_gups.runtime_cycles > 0
+
+    def test_ipcs_positive_and_bounded(self, baseline_gups):
+        for ipc in baseline_gups.ipcs:
+            assert 0 < ipc < 8  # 8-wide core upper bound
+
+    def test_traffic_served(self, baseline_gups):
+        c = baseline_gups.controller
+        assert c.reads.served > 0
+        assert c.writes.served > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run(BASELINE)
+        b = run(BASELINE)
+        assert a.runtime_cycles == b.runtime_cycles
+        assert a.power.total_pj == pytest.approx(b.power.total_pj)
+        assert a.controller.reads.served == b.controller.reads.served
+
+
+class TestPowerInvariants:
+    def test_breakdown_sums(self, baseline_gups):
+        bd = baseline_gups.power
+        assert sum(bd.fractions().values()) == pytest.approx(1.0)
+        assert bd.total_power_mw > 0
+
+    def test_background_covers_runtime(self, baseline_gups):
+        # Background residency is integrated over every rank-cycle.
+        # (4 ranks x runtime; the accountant stores energy, so check
+        # indirectly: background power within physical bounds.)
+        bg_mw = baseline_gups.power.power_mw("bg")
+        # 4 ranks x 8 chips: between PRE_PDN and ACT_STBY per chip.
+        assert 32 * 17 < bg_mw < 32 * 43
+
+    def test_activation_histogram_matches_controller(self, baseline_gups):
+        total_acts = sum(baseline_gups.activation_histogram.values())
+        assert total_acts == baseline_gups.controller.total_activations
+
+
+class TestPRAInvariants:
+    def test_baseline_has_no_false_hits(self, baseline_gups):
+        assert baseline_gups.controller.reads.false_hits == 0
+        assert baseline_gups.controller.writes.false_hits == 0
+
+    def test_baseline_activations_all_full(self, baseline_gups):
+        hist = baseline_gups.activation_histogram
+        assert all(hist[g] == 0 for g in range(1, 8))
+        assert hist[8] > 0
+
+    def test_pra_uses_partial_activations(self, pra_gups):
+        hist = pra_gups.activation_histogram
+        assert hist[1] > 0, "GUPS single-word writes must use 1/8 rows"
+
+    def test_pra_saves_power(self, baseline_gups, pra_gups):
+        assert pra_gups.avg_power_mw < baseline_gups.avg_power_mw
+
+    def test_pra_saves_write_io(self, baseline_gups, pra_gups):
+        assert pra_gups.power.energy_pj["wr_io"] < (
+            0.5 * baseline_gups.power.energy_pj["wr_io"]
+        )
+
+    def test_pra_performance_close_to_baseline(self, baseline_gups, pra_gups):
+        ratio = pra_gups.runtime_cycles / baseline_gups.runtime_cycles
+        assert 0.9 < ratio < 1.15
+
+    def test_mean_granularity_below_one(self, pra_gups, baseline_gups):
+        assert pra_gups.mean_activation_granularity() < 1.0
+        assert baseline_gups.mean_activation_granularity() == pytest.approx(1.0)
+
+
+class TestSchemeMatrix:
+    @pytest.mark.parametrize(
+        "scheme", [FGA, HALF_DRAM, HALF_DRAM_PRA, DBI_PRA], ids=lambda s: s.name
+    )
+    def test_all_schemes_complete(self, scheme):
+        result = run(scheme)
+        assert result.controller.total_served > 0
+        assert result.avg_power_mw > 0
+
+    def test_half_dram_half_granularity(self):
+        result = run(HALF_DRAM)
+        hist = result.activation_histogram
+        assert hist[4] == sum(hist.values())
+
+    def test_fga_slower_than_baseline(self, baseline_gups):
+        fga = run(FGA)
+        assert fga.runtime_cycles > baseline_gups.runtime_cycles
+
+    def test_half_dram_pra_sub_eighth_activations(self):
+        result = run(HALF_DRAM_PRA)
+        hist = result.activation_histogram
+        # Write activations bucket at 1 (=1/16 rounded up); reads at 4.
+        assert hist[1] > 0
+        assert hist[4] > 0
+
+    def test_dbi_generates_proactive_writebacks(self):
+        lbm = Workload(name="lbm4", apps=(profile("lbm"),) * 4)
+        result = run(DBI_PRA, wl=lbm)
+        assert result.dbi_proactive_writebacks > 0
+
+
+class TestPolicies:
+    def test_restricted_policy_no_hits(self):
+        result = run(BASELINE, policy=RowPolicy.RESTRICTED_CLOSE)
+        assert result.controller.total_hits == 0
+        assert result.controller.total_served > 0
+
+    def test_restricted_activates_per_access(self, baseline_gups):
+        restricted = run(BASELINE, policy=RowPolicy.RESTRICTED_CLOSE)
+        served = restricted.controller.total_served
+        acts = restricted.controller.total_activations
+        # At least one ACT per access; a few extra from refresh
+        # force-precharges and drain-mode switches.
+        assert served <= acts <= 1.15 * served
+
+    def test_open_page_runs(self):
+        result = run(BASELINE, policy=RowPolicy.OPEN_PAGE)
+        assert result.controller.total_served > 0
+
+
+class TestMaxCycles:
+    def test_cap_stops_early(self):
+        config = small_config()
+        system = System(config, homogeneous("GUPS"), 5000, warmup_events_per_core=WARMUP)
+        result = system.run(max_cycles=500)
+        assert result.runtime_cycles <= 1000  # cap plus bounded batch slack
+
+
+class TestMixWorkload:
+    def test_mix_runs_with_heterogeneous_apps(self):
+        result = run(BASELINE, wl="MIX2", events=800)
+        names = [c.app_name for c in result.cores]
+        assert names == ["mcf", "em3d", "GUPS", "LinkedList"]
+        assert all(c.retired_instructions > 0 for c in result.cores)

@@ -1,0 +1,87 @@
+"""DDR3-1600 timing parameters (Table 3) and conversions."""
+
+import pytest
+
+from repro.dram.timing import DDR3_1600, TimingParams
+
+
+class TestTable3Values:
+    """The chip timing row of Table 3."""
+
+    def test_paper_timing_values(self):
+        t = DDR3_1600
+        assert t.trcd == 11
+        assert t.trp == 11
+        assert t.tcas == 11
+        assert t.tras == 28
+        assert t.twr == 12
+        assert t.tccd == 4
+        assert t.trrd == 5
+        assert t.tfaw == 24
+        assert t.trc == 39
+
+    def test_trc_is_tras_plus_trp(self):
+        # "row cycle (tRC) is the sum of tRAS and tRP" (Section 5.1.1).
+        assert DDR3_1600.trc == DDR3_1600.tras + DDR3_1600.trp
+
+    def test_pra_extra_cycle(self):
+        # PRA delays the column command by one tCK (Figure 7a).
+        assert DDR3_1600.pra_extra == 1
+
+    def test_clock_is_800mhz(self):
+        assert DDR3_1600.tck_ns == pytest.approx(1.25)
+
+    def test_burst_occupancy(self):
+        # BL8 on a DDR bus = 4 command-clock cycles.
+        assert DDR3_1600.tburst == 4
+
+
+class TestConversions:
+    def test_cycles_to_ns_roundtrip(self):
+        t = DDR3_1600
+        assert t.ns_to_cycles(t.cycles_to_ns(39)) == pytest.approx(39)
+
+    def test_row_cycle_ns(self):
+        assert DDR3_1600.row_cycle_ns == pytest.approx(48.75)
+
+    def test_read_latency(self):
+        assert DDR3_1600.read_latency == 22
+
+    def test_with_overrides(self):
+        fast = DDR3_1600.with_overrides(trcd=10, trp=10)
+        assert fast.trcd == 10
+        assert fast.trp == 10
+        assert fast.tras == DDR3_1600.tras
+        # Original untouched (frozen dataclass).
+        assert DDR3_1600.trcd == 11
+
+    def test_refresh_interval_is_7800ns(self):
+        assert DDR3_1600.cycles_to_ns(DDR3_1600.trefi) == pytest.approx(7800.0)
+
+    def test_refresh_cycle_is_160ns(self):
+        assert DDR3_1600.cycles_to_ns(DDR3_1600.trfc) == pytest.approx(160.0)
+
+
+class TestDDR4Preset:
+    def test_ddr4_importable_and_faster_clock(self):
+        from repro.dram.timing import DDR4_2400
+
+        assert DDR4_2400.tck_ns < DDR3_1600.tck_ns
+        # Similar absolute latencies despite more cycles.
+        assert DDR4_2400.cycles_to_ns(DDR4_2400.trcd) == pytest.approx(
+            DDR3_1600.cycles_to_ns(DDR3_1600.trcd), rel=0.1
+        )
+        assert DDR4_2400.trc == DDR4_2400.tras + DDR4_2400.trp
+
+    def test_system_runs_on_ddr4(self):
+        from repro.core.schemes import PRA
+        from repro.dram.timing import DDR4_2400
+        from repro.sim.config import CacheConfig, SystemConfig
+        from repro.sim.system import simulate
+        from repro.workloads.mixes import workload
+
+        config = SystemConfig(
+            scheme=PRA, timing=DDR4_2400, cache=CacheConfig(llc_bytes=128 * 1024)
+        )
+        result = simulate(config, workload("GUPS"), 500, warmup_events_per_core=1500)
+        assert result.controller.total_served > 0

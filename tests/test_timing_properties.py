@@ -1,0 +1,94 @@
+"""Property-based tests: random command sequences never violate DDR3 rules.
+
+A random but legality-respecting driver exercises Bank/Rank through the
+public ``can_*`` predicates; the device must never raise
+``BankStateError`` for commands its predicates approved, and protocol
+invariants must hold at every step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.bank import BankStateError
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR3_1600
+
+T = DDR3_1600
+
+# A program is a list of (action, bank, row) choices; time advances by
+# a small random stride between attempts.
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["act", "read", "write", "pre", "tick"]),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=1, max_value=8),  # granularity eighths
+        st.integers(min_value=0, max_value=6),  # time stride
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(actions, st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_random_programs_respect_protocol(program, relaxed):
+    rank = Rank(T, num_banks=8, relax_act_constraints=relaxed)
+    cycle = 0
+    open_rows = {}
+    for action, bank_idx, row, gran, stride in program:
+        cycle += stride
+        bank = rank.banks[bank_idx]
+        if action == "tick":
+            rank.accrue_background(cycle)
+            continue
+        try:
+            if action == "act" and rank.can_activate(cycle, bank_idx, gran):
+                mask = (1 << gran) - 1
+                bank.activate(cycle, row, mask)
+                rank.record_activate(cycle, gran)
+                open_rows[bank_idx] = row
+            elif action == "read" and rank.can_read(cycle, bank_idx):
+                end = bank.read(cycle)
+                rank.record_read(cycle)
+                assert end > cycle
+            elif action == "write" and rank.can_write(cycle, bank_idx):
+                end = bank.write(cycle)
+                rank.record_write(cycle, end)
+                assert end > cycle
+            elif action == "pre" and bank.can_precharge(cycle):
+                bank.precharge(cycle)
+                open_rows.pop(bank_idx, None)
+        except BankStateError as exc:  # pragma: no cover - must not happen
+            pytest.fail(f"approved command raised: {exc}")
+
+        # Invariants after every step.
+        assert rank.faw.weight_in_window(cycle) <= rank.faw.budget + 1e-9
+        for b_idx, b in enumerate(rank.banks):
+            if b.is_open:
+                assert b.open_mask > 0
+                if b_idx in open_rows:
+                    assert b.open_row == open_rows[b_idx]
+
+
+@given(actions)
+@settings(max_examples=60, deadline=None)
+def test_earliest_activate_is_sound(program):
+    """earliest_activate never returns a time at which ACT is illegal."""
+    rank = Rank(T, num_banks=8, relax_act_constraints=True)
+    cycle = 0
+    for action, bank_idx, row, gran, stride in program:
+        cycle += stride
+        if action != "act":
+            continue
+        est = rank.earliest_activate(cycle, bank_idx, gran)
+        bank = rank.banks[bank_idx]
+        if bank.is_open:
+            continue  # bank-level openness is outside this predicate
+        assert rank.can_activate(est, bank_idx, gran), (
+            f"earliest_activate={est} but can_activate is False"
+        )
+        bank.activate(est, row, (1 << gran) - 1)
+        rank.record_activate(est, gran)
+        cycle = est
