@@ -14,11 +14,15 @@ from repro.sim.system import System
 from repro.workloads.mixes import workload
 
 EVENTS = 1500
+#: Cache-warmup events per core.  2000 is enough to wake up dirty
+#: evictions (DRAM write traffic) in the 512 KiB LLC used here while
+#: keeping the measured run dominated by the scheduling hot path.
+WARMUP = 2000
 
 
 def one_run():
     config = SystemConfig(scheme=PRA, cache=CacheConfig(llc_bytes=512 * 1024))
-    system = System(config, workload("MIX2"), EVENTS, warmup_events_per_core=6000)
+    system = System(config, workload("MIX2"), EVENTS, warmup_events_per_core=WARMUP)
     result = system.run()
     return result.controller.total_served, result.runtime_cycles
 
@@ -34,5 +38,8 @@ def test_simulator_throughput(benchmark):
     print(f"  requests / second    {served / seconds:,.0f}")
     print(f"  sim cycles / second  {cycles / seconds:,.0f}")
     assert served > 0
-    # Loose floor so CI catches order-of-magnitude regressions only.
-    assert served / seconds > 300
+    # Floor set from measured history (best-of-5 on a 1-core container):
+    # seed engine ~4,700 req/s, event-engine rework ~8,300 req/s.  2000
+    # leaves ~4x headroom for slower CI machines while still catching a
+    # regression back to per-cycle-scan behavior.
+    assert served / seconds > 2000

@@ -97,6 +97,23 @@ class ChannelController:
         #: Optional differential verifier (repro.dram.protocol); every
         #: issued command is replayed through it when attached.
         self.protocol_checker = None
+        # Hot-path caches (invariant after construction).
+        self._tcas = timing.tcas
+        self._tcwl = timing.tcwl
+        self._twr = timing.twr
+        self._frfcfs = scheduler == "frfcfs"
+        self._num_banks = len(channel.ranks[0].banks) if channel.ranks else 0
+        self._close_idle = policy.closes_idle_rows
+        self._allows_hits = policy.allows_row_hits
+        self._auto_pre = policy.auto_precharge
+        self._uses_power_down = policy.uses_power_down
+        #: Per-rank bitmask of open banks whose row is known useless
+        #: (no live request in either queue can use it, or the row-hit
+        #: cap is exhausted).  Useless is *sticky* between arrivals:
+        #: serving requests only removes candidates, so the flag stays
+        #: valid until a new request for that bank arrives (cleared in
+        #: :meth:`enqueue`) or a new row opens (cleared on ACT).
+        self._useless: List[int] = [0] * len(channel.ranks)
 
     # ------------------------------------------------------------------
     # Queue interface (used by the CPU/cache side)
@@ -112,7 +129,12 @@ class ChannelController:
             return False
         req._missed = False
         req._false = False
+        # Reads always carry a full dirty mask, so this collapses to
+        # FULL_MASK for them either way.
+        req._needed = req.dirty_mask if self._write_needs_mask else FULL_MASK
         queue.append(req)
+        # A new arrival can make this bank's open row useful again.
+        self._useless[req.addr.rank] &= ~(1 << req.addr.bank)
         return True
 
     def submit(self, req: Request) -> None:
@@ -135,9 +157,7 @@ class ChannelController:
 
     def _needed_mask(self, req: Request) -> int:
         """MAT-group coverage the request needs from an open row."""
-        if self._write_needs_mask and not req.is_read:
-            return req.dirty_mask
-        return FULL_MASK
+        return req._needed
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -147,149 +167,243 @@ class ChannelController:
 
         Returns ``(issued, hint)`` where ``hint`` is the next cycle at
         which progress may be possible (valid when nothing issued).
+
+        The hint contract is load-bearing for the event engine in
+        :meth:`repro.sim.system.System.run`: a returned hint must never
+        be *later* than the true next cycle at which this controller
+        could issue a command or fire a housekeeping action (stepping at
+        the hint and finding nothing to do is merely wasted work;
+        skipping past a ready cycle would change the schedule).  Every
+        blocking condition below therefore contributes its exact ready
+        cycle: command-bus free, per-bank ACT/column/PRE ready cycles,
+        refresh deadlines and close-idle opportunities.
         """
         channel = self.channel
         if self.overflow:
             self._drain_overflow()
-        if not channel.cmd_bus_ready(cycle):
+        if cycle < channel.cmd_bus_free:
             return (False, channel.cmd_bus_free)
 
         hint = _NEVER
-        open_banks = []  # (rank_idx, bank_idx, bank) after housekeeping
         refresh_pending = 0  # bitmask of ranks due for refresh
         read_q, write_q = self.read_q, self.write_q
-        policy = self.policy
-        close_idle = policy.closes_idle_rows
+        close_idle = self._close_idle
         hit_cap = self.row_hit_cap
+        stats = self.stats
+        useless = self._useless
 
-        # --- Housekeeping + refresh + open-bank collection (one pass) ---
+        # --- Write drain hysteresis (48/16 watermarks) ---
+        writes_pending = write_q._count
+        if self.draining and writes_pending <= self.lo_mark:
+            self.draining = False
+        elif not self.draining and writes_pending >= self.hi_mark:
+            self.draining = True
+            stats.drain_entries += 1
+
+        serve_writes = self.draining or (not read_q._count and writes_pending)
+        primary = write_q if serve_writes else read_q
+        primary_by_row = primary._by_row
+
+        # --- Housekeeping + refresh + pass 1 candidate (one pass) ---
+        # The FR-FCFS hit scan rides the same open-bank walk as
+        # housekeeping so each bank's ``_by_row`` bucket is fetched at
+        # most once per step.
+        pass1 = hit_cap and self._frfcfs
+        best = None
+        best_rank = best_bank = 0
         for rank_idx, rank in enumerate(channel.ranks):
-            refresh_due = rank.refresh_due(cycle)
+            refresh_due = cycle >= rank.next_refresh
             if refresh_due:
                 refresh_pending |= 1 << rank_idx
                 if rank.powered_down:
                     rank.exit_power_down(cycle)
-                    hint = min(hint, rank.pd_exit_ready)
+                    if rank.pd_exit_ready < hint:
+                        hint = rank.pd_exit_ready
                     continue
-                gate = rank.command_gate(cycle)
+                gate = rank._gate
                 if cycle < gate:
-                    hint = min(hint, gate)
+                    if gate < hint:
+                        hint = gate
                     continue
-            any_open = False
-            for bank_idx, bank in enumerate(rank.banks):
-                if bank.open_row is None:
-                    continue
+            bits = rank.open_bits
+            banks = rank.banks
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                bank_idx = low.bit_length() - 1
+                bank = banks[bank_idx]
                 # Auto-precharge (restricted policy) is command-free.
                 if bank.pending_autopre:
-                    if bank.can_precharge(cycle):
+                    if cycle >= bank.pre_ready:
                         rank.accrue_background(cycle)
                         bank.precharge(cycle)
                         bank.pending_autopre = False
-                        self.stats.precharges += 1
-                        self._observe(CommandRecord(
-                            cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,
-                            bank=bank_idx, implicit=True))
+                        stats.precharges += 1
+                        if self.protocol_checker is not None:
+                            self._observe_pre(cycle, rank_idx, bank_idx, implicit=True)
                     else:
-                        hint = min(hint, bank.pre_ready)
-                        any_open = True
+                        if bank.pre_ready < hint:
+                            hint = bank.pre_ready
                     continue
                 if refresh_due:
                     # Force-close for refresh (consumes the command slot).
-                    if bank.can_precharge(cycle):
+                    if cycle >= bank.pre_ready:
                         rank.accrue_background(cycle)
                         bank.precharge(cycle)
-                        self.stats.precharges += 1
-                        self._observe(CommandRecord(
-                            cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,
-                            bank=bank_idx))
-                        channel.occupy_cmd_bus(cycle)
+                        stats.precharges += 1
+                        if self.protocol_checker is not None:
+                            self._observe_pre(cycle, rank_idx, bank_idx)
+                        channel.cmd_bus_free = cycle + 1
                         return (True, cycle + 1)
-                    hint = min(hint, bank.pre_ready)
-                    any_open = True
+                    if bank.pre_ready < hint:
+                        hint = bank.pre_ready
                     continue
-                if close_idle and cycle >= bank.pre_ready:
-                    cap_hit = hit_cap and bank.open_row_accesses >= hit_cap
-                    if cap_hit or not (
-                        read_q.has_row((rank_idx, bank_idx, bank.open_row))
-                        or write_q.has_row((rank_idx, bank_idx, bank.open_row))
-                    ):
-                        rank.accrue_background(cycle)
-                        bank.precharge(cycle)
-                        self.stats.precharges += 1
-                        self._observe(CommandRecord(
-                            cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,
-                            bank=bank_idx, implicit=True))
+                capped = hit_cap and bank.open_row_accesses >= hit_cap
+                dq = None  # primary-queue bucket, if fetched below
+                if close_idle:
+                    if useless[rank_idx] >> bank_idx & 1:
+                        useful = False
+                    else:
+                        useful = False
+                        if not capped:
+                            key = (rank_idx, bank_idx, bank.open_row)
+                            rdq = read_q._by_row.get(key)
+                            if rdq is not None:
+                                while rdq and rdq[0].served:
+                                    rdq.popleft()
+                                if not rdq:
+                                    del read_q._by_row[key]
+                            if rdq:
+                                useful = True
+                                if primary is read_q:
+                                    dq = rdq
+                            else:
+                                wdq = write_q._by_row.get(key)
+                                if wdq is not None:
+                                    while wdq and wdq[0].served:
+                                        wdq.popleft()
+                                    if not wdq:
+                                        del write_q._by_row[key]
+                                if wdq:
+                                    useful = True
+                                    if primary is write_q:
+                                        dq = wdq
+                        if not useful:
+                            useless[rank_idx] |= 1 << bank_idx
+                    if not useful:
+                        if cycle >= bank.pre_ready:
+                            rank.accrue_background(cycle)
+                            bank.precharge(cycle)
+                            stats.precharges += 1
+                            if self.protocol_checker is not None:
+                                self._observe_pre(cycle, rank_idx, bank_idx, implicit=True)
+                            continue
+                        # Exact wake for the close-idle opportunity: the
+                        # row is already useless, it just cannot be
+                        # closed before tRAS/tWR/tRTP expire.
+                        if bank.pre_ready < hint:
+                            hint = bank.pre_ready
                         continue
-                any_open = True
-                open_banks.append((rank_idx, bank_idx, bank))
-            if refresh_due and not any_open and not rank.powered_down:
-                if cycle >= rank.command_gate(cycle):
+                # Pass 1: oldest ready row-buffer hit (FR-FCFS).
+                if pass1 and not capped:
+                    if dq is None:
+                        key = (rank_idx, bank_idx, bank.open_row)
+                        dq = primary_by_row.get(key)
+                        if dq is not None:
+                            while dq and dq[0].served:
+                                dq.popleft()
+                            if not dq:
+                                del primary_by_row[key]
+                    if dq:
+                        cand = dq[0]
+                        if not (cand._needed & ~bank.open_mask) and (
+                            best is None
+                            or cand.arrive_cycle < best.arrive_cycle
+                            or (
+                                cand.arrive_cycle == best.arrive_cycle
+                                and cand.req_id < best.req_id
+                            )
+                        ):
+                            best = cand
+                            best_rank = rank_idx
+                            best_bank = bank_idx
+            if rank.open_bits:
+                continue
+            if refresh_due:
+                if not rank.powered_down and cycle >= rank._gate:
                     rank.do_refresh(cycle)
                     self.accountant.on_refresh()
-                    self.stats.refreshes += 1
-                    self._observe(CommandRecord(cycle=cycle, cmd=Cmd.REF, rank=rank_idx))
-                    channel.occupy_cmd_bus(cycle)
+                    stats.refreshes += 1
+                    if self.protocol_checker is not None:
+                        self._observe(CommandRecord(cycle=cycle, cmd=Cmd.REF, rank=rank_idx))
+                    channel.cmd_bus_free = cycle + 1
                     return (True, cycle + 1)
-            if (
-                not refresh_due
-                and policy.uses_power_down
+            elif (
+                self._uses_power_down
                 and not rank.powered_down
-                and not any_open
-                and not read_q.pending_for_rank(rank_idx)
-                and not write_q.pending_for_rank(rank_idx)
-                and rank.all_precharged
+                and not read_q._per_rank.get(rank_idx)
+                and not write_q._per_rank.get(rank_idx)
             ):
                 rank.enter_power_down(cycle)
-                self.stats.power_down_entries += 1
+                stats.power_down_entries += 1
 
-        # --- Write drain hysteresis (48/16 watermarks) ---
-        if self.draining and len(write_q) <= self.lo_mark:
-            self.draining = False
-        elif not self.draining and len(write_q) >= self.hi_mark:
-            self.draining = True
-            self.stats.drain_entries += 1
-
-        serve_writes = self.draining or (not len(read_q) and len(write_q))
-        primary = write_q if serve_writes else read_q
-
-        # --- Pass 1: ready row-buffer hits, oldest first (FR-FCFS) ---
-        if hit_cap and open_banks and self.scheduler == "frfcfs":
-            best = None
-            best_bank = None
-            for rank_idx, bank_idx, bank in open_banks:
-                if refresh_pending >> rank_idx & 1:
-                    continue
-                if bank.open_row_accesses >= hit_cap:
-                    continue
-                cand = primary.oldest_for_row((rank_idx, bank_idx, bank.open_row))
-                if cand is None:
-                    continue
-                needed = cand.dirty_mask if (self._write_needs_mask and not cand.is_read) else FULL_MASK
-                if needed & ~bank.open_mask:
-                    continue
-                if best is None or (cand.arrive_cycle, cand.req_id) < (
-                    best.arrive_cycle,
-                    best.req_id,
-                ):
-                    best = cand
-                    best_bank = (rank_idx, bank_idx)
-            if best is not None:
-                issued, h = self._try_column(cycle, best, *best_bank)
-                if issued:
-                    return (True, cycle + 1)
-                hint = min(hint, h)
+        # --- Pass 1 column attempt for the best ready hit ---
+        skip_req = None
+        skip_hint = 0
+        if best is not None:
+            rank = channel.ranks[best_rank]
+            # Rank/bank column-readiness pre-check, including data-bus
+            # fitting: the full attempt only matters once both the
+            # command slot and the burst slot are legal.  Bus occupancy
+            # never shrinks, so the bus-aware hint is never late.
+            t = rank.next_col_ok
+            o = rank.next_read_ok if best.is_read else rank.next_write_ok
+            if o > t:
+                t = o
+            cr = rank.banks[best_bank].col_ready
+            if cr > t:
+                t = cr
+            if rank._gate > t:
+                t = rank._gate
+            if t < cycle:
+                t = cycle
+            dd = self._tcas if best.is_read else self._tcwl
+            bus_start = channel.earliest_burst_start(t + dd, best_rank)
+            if bus_start > t + dd:
+                t = bus_start - dd
+            if t > cycle:
+                issued, h = False, t
+            else:
+                issued, h = self._try_column(cycle, best, best_rank, best_bank)
+            if issued:
+                return (True, cycle + 1)
+            if h < hint:
+                hint = h
+            # Pass 2 would retry the identical attempt for this
+            # request; replay the outcome instead of recomputing it.
+            skip_req = best
+            skip_hint = h
 
         # --- Pass 2: oldest-first over the primary queue ---
-        issued, h = self._try_oldest(cycle, primary, refresh_pending)
+        issued, h = self._try_oldest(
+            cycle, primary, refresh_pending, skip_req, skip_hint
+        )
         if issued:
             return (True, cycle + 1)
-        hint = min(hint, h)
+        if h < hint:
+            hint = h
 
         # Idle: wake for the next refresh deadline.
         for rank in channel.ranks:
             if rank.next_refresh < hint:
                 hint = rank.next_refresh
         return (False, hint if hint > cycle else cycle + 1)
+
+    def _observe_pre(self, cycle, rank_idx, bank_idx, implicit=False) -> None:
+        if self.protocol_checker is not None:
+            self.protocol_checker.observe(CommandRecord(
+                cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,
+                bank=bank_idx, implicit=implicit))
 
     # ------------------------------------------------------------------
     def run_until(self, cycle: int, limit: int) -> int:
@@ -305,21 +419,36 @@ class ChannelController:
         local = max(cycle, self.local_clock)
         if local >= limit:
             return local
-        completions_seen = len(self.completed_reads)
+        step = self.step
+        completed = self.completed_reads
+        completions_seen = len(completed)
         while local < limit:
-            issued, hint = self.step(local)
+            issued, hint = step(local)
             if issued:
                 self.local_clock = local + 1
-                if len(self.completed_reads) > completions_seen:
-                    for done_cycle, _ in self.completed_reads[completions_seen:]:
+                n = len(completed)
+                if n > completions_seen:
+                    while completions_seen < n:
+                        done_cycle = completed[completions_seen][0]
                         if done_cycle < limit:
                             limit = done_cycle
-                    completions_seen = len(self.completed_reads)
-                local += 1
+                        completions_seen += 1
+                # Nothing can issue while the command bus is busy (a
+                # masked ACT owns two cycles), and ``step`` bails on a
+                # busy bus before any housekeeping - so jump straight
+                # past it instead of probing just to learn that.
+                nxt = local + 1
+                if nxt < limit:
+                    bus_free = self.channel.cmd_bus_free
+                    if bus_free > nxt:
+                        if bus_free >= limit:
+                            return bus_free
+                        nxt = bus_free
+                local = nxt
                 continue
             if hint >= limit:
                 return hint
-            if not self.pending:
+            if not (self.read_q._count or self.write_q._count or self.overflow):
                 # Only refreshes remain; let the outer loop pace them so
                 # an unbounded horizon cannot trap the batch here.
                 return hint
@@ -328,35 +457,69 @@ class ChannelController:
 
     # ------------------------------------------------------------------
     def _try_oldest(
-        self, cycle: int, primary: RequestQueue, refresh_pending: int
+        self,
+        cycle: int,
+        primary: RequestQueue,
+        refresh_pending: int,
+        skip_req: Optional[Request] = None,
+        skip_hint: int = 0,
     ) -> Tuple[bool, int]:
         hint = _NEVER
-        banks_seen = set()
-        ranks = self.channel.ranks
-        allows_hits = self.policy.allows_row_hits
+        banks_seen = 0  # bitmask over (rank, bank) pairs
+        channel = self.channel
+        ranks = channel.ranks
+        num_banks = self._num_banks
+        allows_hits = self._allows_hits
         hit_cap = self.row_hit_cap
-        write_needs_mask = self._write_needs_mask
-        for req in primary.iter_oldest(self.scan_depth):
+        scan_left = self.scan_depth
+        # Direct FIFO scan (hot path): equivalent to iter_oldest() but
+        # without generator overhead.
+        fifo = primary._fifo
+        while fifo and fifo[0].served:
+            fifo.popleft()
+        for req in fifo:
+            if req.served:
+                continue
             addr = req.addr
             rank_idx = addr.rank
             if refresh_pending >> rank_idx & 1:
+                if scan_left <= 1:
+                    break
+                scan_left -= 1
                 continue
             bank_idx = addr.bank
-            bank_key = rank_idx << 8 | bank_idx
-            if bank_key in banks_seen:
-                continue  # an older request to this bank already failed
-            banks_seen.add(bank_key)
+            bank_bit = 1 << (rank_idx * num_banks + bank_idx)
+            if banks_seen & bank_bit:
+                # An older request to this bank already failed.
+                if scan_left <= 1:
+                    break
+                scan_left -= 1
+                continue
+            banks_seen |= bank_bit
             rank = ranks[rank_idx]
             if rank.powered_down:
                 rank.exit_power_down(cycle)
-                hint = min(hint, rank.pd_exit_ready)
+                if rank.pd_exit_ready < hint:
+                    hint = rank.pd_exit_ready
+                if scan_left <= 1:
+                    break
+                scan_left -= 1
                 continue
             bank = rank.banks[bank_idx]
             open_row = bank.open_row
-            needed = req.dirty_mask if (write_needs_mask and not req.is_read) else FULL_MASK
             if open_row is None:
-                issued, h = self._try_activate(cycle, req, rank_idx, bank_idx)
-            elif open_row == addr.row and not (needed & ~bank.open_mask):
+                # Cheap ACT pre-check before the (mask-merging) full
+                # attempt: the plan only matters once the slot is legal.
+                t = rank.next_act_ok
+                if bank.act_ready > t:
+                    t = bank.act_ready
+                if rank._gate > t:
+                    t = rank._gate
+                if t > cycle:
+                    issued, h = False, t
+                else:
+                    issued, h = self._try_activate(cycle, req, rank_idx, bank_idx)
+            elif open_row == addr.row and not (req._needed & ~bank.open_mask):
                 # Restricted close-page permits exactly one column access
                 # per activation: the one the ACT was issued for.
                 may_access = (
@@ -368,19 +531,50 @@ class ChannelController:
                     )
                 )
                 if may_access:
-                    issued, h = self._try_column(cycle, req, rank_idx, bank_idx)
+                    if req is skip_req:
+                        # Pass 1 already made this exact attempt (same
+                        # request, same cycle, no state change since);
+                        # replay its failure instead of recomputing.
+                        issued, h = False, skip_hint
+                    else:
+                        t = rank.next_col_ok
+                        o = rank.next_read_ok if req.is_read else rank.next_write_ok
+                        if o > t:
+                            t = o
+                        cr = bank.col_ready
+                        if cr > t:
+                            t = cr
+                        if rank._gate > t:
+                            t = rank._gate
+                        if t < cycle:
+                            t = cycle
+                        dd = self._tcas if req.is_read else self._tcwl
+                        bus_start = channel.earliest_burst_start(t + dd, rank_idx)
+                        if bus_start > t + dd:
+                            t = bus_start - dd
+                        if t > cycle:
+                            issued, h = False, t
+                        else:
+                            issued, h = self._try_column(cycle, req, rank_idx, bank_idx)
                 else:
-                    issued, h = self._try_precharge(cycle, rank, bank)
+                    issued, h = self._try_precharge(cycle, rank, bank, rank_idx, bank_idx)
             else:
                 if open_row == addr.row and not req._false:
                     req._false = True
                     self.stats.false_hit_reactivations += 1
                 if self._row_still_useful(rank_idx, bank_idx, bank, primary):
+                    if scan_left <= 1:
+                        break
+                    scan_left -= 1
                     continue  # let pending hits to the open row drain first
-                issued, h = self._try_precharge(cycle, rank, bank)
+                issued, h = self._try_precharge(cycle, rank, bank, rank_idx, bank_idx)
             if issued:
                 return (True, hint)
-            hint = min(hint, h)
+            if h < hint:
+                hint = h
+            if scan_left <= 1:
+                break
+            scan_left -= 1
         return (False, hint)
 
     def _row_still_useful(
@@ -393,22 +587,23 @@ class ChannelController:
         could use would wait for writes that are themselves waiting for
         the read queue to empty (priority livelock).
         """
-        if not self.policy.allows_row_hits:
+        if not self._allows_hits:
             return False
-        if self.scheduler == "fcfs":
+        if not self._frfcfs:
             # Strict order: the oldest request always wins the bank.
+            return False
+        if self._useless[rank_idx] >> bank_idx & 1:
+            # Known-useless (empty buckets in both queues, or capped):
+            # skip the bucket walk entirely.
             return False
         if bank.open_row_accesses >= self.row_hit_cap:
             return False
-        key = (rank_idx, bank_idx, bank.open_row)
-        open_mask = bank.open_mask
-        for cand in primary.requests_for_row(key):
-            needed = (
-                cand.dirty_mask
-                if (self._write_needs_mask and not cand.is_read)
-                else FULL_MASK
-            )
-            if not (needed & ~open_mask):
+        dq = primary._by_row.get((rank_idx, bank_idx, bank.open_row))
+        if not dq:
+            return False
+        closed_groups = ~bank.open_mask
+        for cand in dq:
+            if not cand.served and not (cand._needed & closed_groups):
                 return True
         return False
 
@@ -420,8 +615,11 @@ class ChannelController:
         scheme = self.scheme
         if req.is_write and scheme.write_uses_mask:
             merged = req.dirty_mask
-            for w in self.write_q.requests_for_row(row_key(req)):
-                merged |= w.dirty_mask
+            dq = self.write_q._by_row.get(row_key(req))
+            if dq:
+                for w in dq:
+                    if not w.served:
+                        merged |= w.dirty_mask
             fraction = (
                 mask_ops.popcount(merged) / WORDS_PER_LINE
             ) * scheme.mask_scale
@@ -457,77 +655,87 @@ class ChannelController:
             cycle, req.addr.row, act_mask, mask_transfer_cycle=pays_mask_cycle
         )
         rank.record_activate(cycle, granularity)
-        bank.reserved_req = req.req_id if self.policy.auto_precharge else None
-        self._observe(CommandRecord(
-            cycle=cycle, cmd=Cmd.ACT, rank=rank_idx, bank=bank_idx,
-            row=req.addr.row, mask=act_mask, granularity=granularity,
-            masked=pays_mask_cycle))
+        self._useless[rank_idx] &= ~(1 << bank_idx)
+        bank.reserved_req = req.req_id if self._auto_pre else None
+        if self.protocol_checker is not None:
+            self._observe(CommandRecord(
+                cycle=cycle, cmd=Cmd.ACT, rank=rank_idx, bank=bank_idx,
+                row=req.addr.row, mask=act_mask, granularity=granularity,
+                masked=pays_mask_cycle))
         self.accountant.on_activate_fraction(fraction)
         kind_stats = self.stats.reads if req.is_read else self.stats.writes
         kind_stats.activations += 1
         req._missed = True
-        cmd_cycles = 2 if pays_mask_cycle else 1
-        self.channel.occupy_cmd_bus(cycle, cmd_cycles)
+        self.channel.cmd_bus_free = cycle + (2 if pays_mask_cycle else 1)
         return (True, cycle + 1)
 
-    def _try_precharge(self, cycle, rank, bank) -> Tuple[bool, int]:
-        gate = rank.command_gate(cycle)
+    def _try_precharge(
+        self, cycle, rank, bank, rank_idx=None, bank_idx=None
+    ) -> Tuple[bool, int]:
+        gate = rank._gate
         if cycle < gate:
             return (False, gate)
-        if not bank.can_precharge(cycle):
-            return (False, max(bank.pre_ready, cycle + 1))
+        if bank.open_row is None or cycle < bank.pre_ready:
+            return (False, bank.pre_ready if bank.pre_ready > cycle else cycle + 1)
         rank.accrue_background(cycle)
-        rank_idx = self.channel.ranks.index(rank)
-        bank_idx = rank.banks.index(bank)
         bank.precharge(cycle)
         bank.pending_autopre = False
         self.stats.precharges += 1
-        self._observe(CommandRecord(
-            cycle=cycle, cmd=Cmd.PRE, rank=rank_idx, bank=bank_idx))
-        self.channel.occupy_cmd_bus(cycle)
+        if self.protocol_checker is not None:
+            if rank_idx is None:
+                rank_idx = self.channel.ranks.index(rank)
+                bank_idx = rank.banks.index(bank)
+            self._observe(CommandRecord(
+                cycle=cycle, cmd=Cmd.PRE, rank=rank_idx, bank=bank_idx))
+        self.channel.cmd_bus_free = cycle + 1
         return (True, cycle + 1)
 
     def _try_column(
         self, cycle: int, req: Request, rank_idx: int, bank_idx: int
     ) -> Tuple[bool, int]:
-        rank = self.channel.ranks[rank_idx]
+        channel = self.channel
+        rank = channel.ranks[rank_idx]
         bank = rank.banks[bank_idx]
-        timing = self.timing
-        if req.is_read:
+        is_read = req.is_read
+        if is_read:
             earliest = rank.earliest_read(cycle, bank_idx)
-            data_delay = timing.tcas
+            data_delay = self._tcas
         else:
             earliest = rank.earliest_write(cycle, bank_idx)
-            data_delay = timing.tcwl
+            data_delay = self._tcwl
         if earliest > cycle or rank.powered_down:
-            return (False, max(earliest, cycle + 1))
+            return (False, earliest if earliest > cycle else cycle + 1)
         burst_start = cycle + data_delay
-        bus_start = self.channel.earliest_burst_start(burst_start, rank_idx)
+        bus_start = channel.earliest_burst_start(burst_start, rank_idx)
         if bus_start > burst_start:
-            return (False, max(cycle + 1, bus_start - data_delay))
-        if req.is_read:
+            back_off = bus_start - data_delay
+            return (False, back_off if back_off > cycle else cycle + 1)
+        if is_read:
             bank.read(cycle)
         else:
             bank.write(cycle)
-        burst_end = self.channel.occupy_data_bus(burst_start, rank_idx)
-        self._observe(CommandRecord(
-            cycle=cycle, cmd=Cmd.RD if req.is_read else Cmd.WR,
-            rank=rank_idx, bank=bank_idx,
-            burst_start=burst_start, burst_end=burst_end,
-            needed_mask=self._needed_mask(req)))
+        burst_end = channel.occupy_data_bus(burst_start, rank_idx)
+        if self.protocol_checker is not None:
+            self._observe(CommandRecord(
+                cycle=cycle, cmd=Cmd.RD if is_read else Cmd.WR,
+                rank=rank_idx, bank=bank_idx,
+                burst_start=burst_start, burst_end=burst_end,
+                needed_mask=req._needed))
         # Recompute recovery with the channel's (possibly FGA-doubled)
         # burst length: the device cannot precharge before data is in.
-        if req.is_read:
+        if is_read:
             rank.record_read(cycle)
         else:
-            bank.pre_ready = max(bank.pre_ready, burst_end + timing.twr)
+            pre = burst_end + self._twr
+            if pre > bank.pre_ready:
+                bank.pre_ready = pre
             rank.record_write(cycle, burst_end)
-        if self.policy.auto_precharge:
+        if self._auto_pre:
             bank.pending_autopre = True
 
         was_hit = not req._missed
-        was_false = bool(req._false)
-        if req.is_read:
+        was_false = req._false
+        if is_read:
             req.complete_cycle = burst_end
             latency = burst_end - req.arrive_cycle
             self.stats.reads.record_service(was_hit, was_false, latency)
@@ -546,7 +754,7 @@ class ChannelController:
             self.accountant.on_write_burst(
                 driven_fraction=driven, other_ranks=self._other_ranks
             )
-        self.channel.occupy_cmd_bus(cycle)
+        channel.cmd_bus_free = cycle + 1
         return (True, cycle + 1)
 
     # ------------------------------------------------------------------

@@ -88,26 +88,41 @@ class Core:
     # ------------------------------------------------------------------
     def next_action_cycle(self, cycle: int) -> int:
         """Earliest memory cycle the core may issue its next access."""
-        if self._current is None or self._blocked():
+        # _blocked() is inlined here and in try_advance: the two are the
+        # event loop's hottest per-core calls.
+        if self._current is None:
             return NEVER
+        outstanding = self._outstanding
+        if outstanding:
+            if len(outstanding) >= self.mlp:
+                return NEVER
+            if self.retired - next(iter(outstanding.values())) >= self.rob:
+                return NEVER
         ready_mem = math.ceil(self._ready_cpu / self.ratio)
-        return max(cycle, ready_mem)
+        return ready_mem if ready_mem > cycle else cycle
 
     def try_advance(self, cycle: int) -> Optional[TraceEvent]:
         """Pop the next access if the core is ready at ``cycle``."""
-        if self._current is None or self._blocked():
-            return None
-        if self._ready_cpu > cycle * self.ratio:
-            return None
         event = self._current
+        if event is None:
+            return None
+        outstanding = self._outstanding
+        if outstanding:
+            if len(outstanding) >= self.mlp:
+                return None
+            if self.retired - next(iter(outstanding.values())) >= self.rob:
+                return None
+        now_cpu = cycle * self.ratio
+        if self._ready_cpu > now_cpu:
+            return None
         self.retired += event.instructions
-        self._ready_cpu = max(self._ready_cpu, cycle * self.ratio)
+        self._ready_cpu = now_cpu
         if event.is_store:
             self.stores_issued += 1
         else:
             self.loads_issued += 1
         self._current = self._next_event()
-        if self.done:
+        if self._current is None and not outstanding:
             self.finish_cycle = cycle
         return event
 

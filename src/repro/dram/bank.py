@@ -15,44 +15,109 @@ A PRA activation behaves exactly like a normal activation except that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core import mask as mask_ops
 from repro.dram.geometry import FULL_MASK
-from repro.dram.timing import TimingParams
+from repro.dram.timing import TimingParams, derived_timing
 
 
 class BankStateError(RuntimeError):
     """A command was applied in a state or at a time that violates DDR3 rules."""
 
 
-@dataclass
 class Bank:
-    """One DRAM bank (replicated across the chips of a rank)."""
+    """One DRAM bank (replicated across the chips of a rank).
 
-    timing: TimingParams
-    #: Currently open row, or None when precharged.
-    open_row: Optional[int] = None
-    #: PRA mask under which the open row was activated.
-    open_mask: int = FULL_MASK
-    #: Earliest cycle an ACT may be issued to this bank.
-    act_ready: int = 0
-    #: Earliest cycle a column (RD/WR) command may be issued.
-    col_ready: int = 0
-    #: Earliest cycle a PRE may be issued.
-    pre_ready: int = 0
-    #: Cycle of the most recent activation (stats/debug).
-    last_act_cycle: int = -1
-    #: Number of column accesses served by the open row (row-hit cap).
-    open_row_accesses: int = 0
-    #: Set by the controller when the open row must auto-precharge
-    #: (restricted close-page policy).
-    pending_autopre: bool = False
-    #: Under restricted close-page, the request id the current
-    #: activation was issued for; only that request may use the row
-    #: (ACT + column + PRE are atomic in that policy).
-    reserved_req: Optional[int] = None
+    ``__slots__``-based: banks are the most frequently touched objects
+    in the simulator's hot loop, and the per-scheme timing values the
+    state machine needs are cached as plain attributes at construction
+    (see :func:`repro.dram.timing.derived_timing`).
+    """
+
+    __slots__ = (
+        "timing",
+        "open_row",
+        "open_mask",
+        "act_ready",
+        "col_ready",
+        "pre_ready",
+        "last_act_cycle",
+        "open_row_accesses",
+        "pending_autopre",
+        "reserved_req",
+        "_rank_ref",
+        "_bit",
+        "_trcd",
+        "_tras",
+        "_trc",
+        "_trp",
+        "_tccd",
+        "_trtp",
+        "_twr",
+        "_trfc",
+        "_pra_extra",
+        "_read_burst",
+        "_write_burst",
+    )
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        open_row: Optional[int] = None,
+        open_mask: int = FULL_MASK,
+        act_ready: int = 0,
+        col_ready: int = 0,
+        pre_ready: int = 0,
+        last_act_cycle: int = -1,
+        open_row_accesses: int = 0,
+        pending_autopre: bool = False,
+        reserved_req: Optional[int] = None,
+        *,
+        rank=None,
+        bank_index: int = 0,
+    ) -> None:
+        self.timing = timing
+        #: Owning rank (optional): lets the bank keep the rank's
+        #: ``open_bits`` bitmask exact on every activate/precharge, so
+        #: the controller's hot loop iterates only open banks.
+        self._rank_ref = rank
+        self._bit = 1 << bank_index
+        if rank is not None and open_row is not None:
+            rank.open_bits |= self._bit
+        #: Currently open row, or None when precharged.
+        self.open_row = open_row
+        #: PRA mask under which the open row was activated.
+        self.open_mask = open_mask
+        #: Earliest cycle an ACT may be issued to this bank.
+        self.act_ready = act_ready
+        #: Earliest cycle a column (RD/WR) command may be issued.
+        self.col_ready = col_ready
+        #: Earliest cycle a PRE may be issued.
+        self.pre_ready = pre_ready
+        #: Cycle of the most recent activation (stats/debug).
+        self.last_act_cycle = last_act_cycle
+        #: Number of column accesses served by the open row (row-hit cap).
+        self.open_row_accesses = open_row_accesses
+        #: Set by the controller when the open row must auto-precharge
+        #: (restricted close-page policy).
+        self.pending_autopre = pending_autopre
+        #: Under restricted close-page, the request id the current
+        #: activation was issued for; only that request may use the row
+        #: (ACT + column + PRE are atomic in that policy).
+        self.reserved_req = reserved_req
+        d = derived_timing(timing)
+        self._trcd = timing.trcd
+        self._tras = timing.tras
+        self._trc = timing.trc
+        self._trp = timing.trp
+        self._tccd = timing.tccd
+        self._trtp = timing.trtp
+        self._twr = timing.twr
+        self._trfc = timing.trfc
+        self._pra_extra = timing.pra_extra
+        self._read_burst = d.read_burst
+        self._write_burst = d.write_burst
 
     @property
     def is_open(self) -> bool:
@@ -107,15 +172,18 @@ class Bank:
             )
         if not 0 < mask <= FULL_MASK:
             raise BankStateError(f"activation mask out of range: {mask:#x}")
-        t = self.timing
         if mask_transfer_cycle is None:
             mask_transfer_cycle = mask != FULL_MASK
-        extra = t.pra_extra if mask_transfer_cycle else 0
+        extra = self._pra_extra if mask_transfer_cycle else 0
+        if self._rank_ref is not None:
+            self._rank_ref.open_bits |= self._bit
         self.open_row = row
         self.open_mask = mask
-        self.col_ready = cycle + t.trcd + extra
-        self.pre_ready = max(self.pre_ready, cycle + t.tras)
-        self.act_ready = cycle + t.trc
+        self.col_ready = cycle + self._trcd + extra
+        pre = cycle + self._tras
+        if pre > self.pre_ready:
+            self.pre_ready = pre
+        self.act_ready = cycle + self._trc
         self.last_act_cycle = cycle
         self.open_row_accesses = 0
 
@@ -135,10 +203,13 @@ class Bank:
         """Issue a column read; returns the cycle the data burst ends."""
         if not self.can_column(cycle):
             raise BankStateError(f"READ at {cycle} illegal (col_ready={self.col_ready})")
-        t = self.timing
-        burst_end = cycle + t.tcas + t.tburst
-        self.col_ready = max(self.col_ready, cycle + t.tccd)
-        self.pre_ready = max(self.pre_ready, cycle + t.trtp)
+        burst_end = cycle + self._read_burst
+        col = cycle + self._tccd
+        if col > self.col_ready:
+            self.col_ready = col
+        pre = cycle + self._trtp
+        if pre > self.pre_ready:
+            self.pre_ready = pre
         self.open_row_accesses += 1
         return burst_end
 
@@ -146,10 +217,13 @@ class Bank:
         """Issue a column write; returns the cycle the data burst ends."""
         if not self.can_column(cycle):
             raise BankStateError(f"WRITE at {cycle} illegal (col_ready={self.col_ready})")
-        t = self.timing
-        burst_end = cycle + t.tcwl + t.tburst
-        self.col_ready = max(self.col_ready, cycle + t.tccd)
-        self.pre_ready = max(self.pre_ready, burst_end + t.twr)
+        burst_end = cycle + self._write_burst
+        col = cycle + self._tccd
+        if col > self.col_ready:
+            self.col_ready = col
+        pre = burst_end + self._twr
+        if pre > self.pre_ready:
+            self.pre_ready = pre
         self.open_row_accesses += 1
         return burst_end
 
@@ -159,18 +233,23 @@ class Bank:
             raise BankStateError(
                 f"PRE at {cycle} illegal (open={self.open_row}, pre_ready={self.pre_ready})"
             )
+        if self._rank_ref is not None:
+            self._rank_ref.open_bits &= ~self._bit
         self.open_row = None
         self.open_mask = FULL_MASK
-        self.act_ready = max(self.act_ready, cycle + self.timing.trp)
+        act = cycle + self._trp
+        if act > self.act_ready:
+            self.act_ready = act
 
     def block_for_refresh(self, cycle: int) -> None:
         """Push out the next ACT to after a refresh that starts now."""
         if self.open_row is not None:
             raise BankStateError("refresh requires all banks precharged")
-        self.act_ready = max(self.act_ready, cycle + self.timing.trfc)
+        act = cycle + self._trfc
+        if act > self.act_ready:
+            self.act_ready = act
 
 
-@dataclass
 class ActivationWindow:
     """Sliding-window tracker for tFAW with fractional (PRA) weights.
 
@@ -180,9 +259,12 @@ class ActivationWindow:
     (Section 4.1.3: relaxed tRRD/tFAW).
     """
 
-    tfaw: int
-    budget: float = 4.0
-    history: list = field(default_factory=list)
+    __slots__ = ("tfaw", "budget", "history")
+
+    def __init__(self, tfaw: int, budget: float = 4.0, history: "list | None" = None):
+        self.tfaw = tfaw
+        self.budget = budget
+        self.history = [] if history is None else history
 
     def weight_in_window(self, cycle: int) -> float:
         """ACT weight inside the window ending at ``cycle`` (pure query).
@@ -193,7 +275,11 @@ class ActivationWindow:
         bug caught by the protocol checker).
         """
         window_start = cycle - self.tfaw
-        return sum(w for c, w in self.history if c > window_start)
+        total = 0.0
+        for c, w in self.history:
+            if c > window_start:
+                total += w
+        return total
 
     def can_activate(self, cycle: int, weight: float) -> bool:
         return self.weight_in_window(cycle) + weight <= self.budget + 1e-9
@@ -201,13 +287,20 @@ class ActivationWindow:
     def next_allowed(self, cycle: int, weight: float) -> int:
         """Earliest cycle at which an ACT of ``weight`` fits the window."""
         window_start = cycle - self.tfaw
-        live = [(c, w) for c, w in self.history if c > window_start]
-        total = sum(w for _, w in live)
+        budget = self.budget + 1e-9
+        total = weight
+        first_live = 0
+        hist = self.history
+        for c, w in hist:
+            if c > window_start:
+                total += w
+            else:
+                first_live += 1
         candidate = cycle
-        idx = 0
-        while total + weight > self.budget + 1e-9 and idx < len(live):
-            candidate = live[idx][0] + self.tfaw + 1
-            total -= live[idx][1]
+        idx = first_live
+        while total > budget and idx < len(hist):
+            candidate = hist[idx][0] + self.tfaw + 1
+            total -= hist[idx][1]
             idx += 1
         return candidate
 

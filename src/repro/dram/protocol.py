@@ -46,7 +46,7 @@ class Cmd(enum.Enum):
     REF = "REF"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommandRecord:
     """One command as observed on the channel."""
 

@@ -26,6 +26,31 @@ from repro.dram.timing import TimingParams
 class Rank:
     """One rank of DRAM chips and its inter-bank constraints."""
 
+    __slots__ = (
+        "timing",
+        "banks",
+        "open_bits",
+        "faw",
+        "relax_act_constraints",
+        "next_act_ok",
+        "next_col_ok",
+        "next_read_ok",
+        "next_write_ok",
+        "powered_down",
+        "pd_exit_ready",
+        "next_refresh",
+        "refresh_until",
+        "_gate",
+        "_bg_last_cycle",
+        "bg_residency",
+        "_trrd",
+        "_tccd",
+        "_twtr",
+        "_txp",
+        "_trefi",
+        "_trfc",
+    )
+
     def __init__(
         self,
         timing: TimingParams,
@@ -33,7 +58,13 @@ class Rank:
         relax_act_constraints: bool = False,
     ) -> None:
         self.timing = timing
-        self.banks: List[Bank] = [Bank(timing) for _ in range(num_banks)]
+        #: Bitmask of banks with an open row, maintained by the banks
+        #: themselves on every activate/precharge (exact by
+        #: construction: ACT requires closed, PRE requires open).
+        self.open_bits: int = 0
+        self.banks: List[Bank] = [
+            Bank(timing, rank=self, bank_index=i) for i in range(num_banks)
+        ]
         self.faw = ActivationWindow(tfaw=timing.tfaw)
         #: Whether partial/half activations relax tRRD and tFAW.
         self.relax_act_constraints = relax_act_constraints
@@ -54,6 +85,10 @@ class Rank:
         self.next_refresh: int = timing.trefi
         #: Cycle until which an in-flight refresh blocks the rank.
         self.refresh_until: int = 0
+        #: Cached max(pd_exit_ready, refresh_until); kept in sync by the
+        #: two mutators so ``command_gate`` is a single comparison on
+        #: the hot path instead of a recomputed max every probe.
+        self._gate: int = 0
         # Background residency integration.
         self._bg_last_cycle: int = 0
         self.bg_residency: Dict[str, int] = {
@@ -61,12 +96,18 @@ class Rank:
             "pre_stby": 0,
             "pre_pdn": 0,
         }
+        self._trrd = timing.trrd
+        self._tccd = timing.tccd
+        self._twtr = timing.twtr
+        self._txp = timing.txp
+        self._trefi = timing.trefi
+        self._trfc = timing.trfc
 
     # ------------------------------------------------------------------
     # Background state accounting
     # ------------------------------------------------------------------
     def _bg_state(self) -> str:
-        if any(bank.is_open for bank in self.banks):
+        if self.open_bits:
             return "act_stby"
         if self.powered_down:
             return "pre_pdn"
@@ -88,7 +129,7 @@ class Rank:
     # ------------------------------------------------------------------
     @property
     def all_precharged(self) -> bool:
-        return not any(bank.is_open for bank in self.banks)
+        return not self.open_bits
 
     def enter_power_down(self, cycle: int) -> None:
         """Enter precharge power-down (all banks must be closed)."""
@@ -103,13 +144,15 @@ class Rank:
         if self.powered_down:
             self.accrue_background(cycle)
             self.powered_down = False
-            self.pd_exit_ready = cycle + self.timing.txp
+            self.pd_exit_ready = cycle + self._txp
+            if self.pd_exit_ready > self._gate:
+                self._gate = self.pd_exit_ready
         return self.pd_exit_ready
 
     def command_gate(self, cycle: int) -> int:
         """Earliest cycle any command may issue (PD exit / refresh)."""
-        gate = max(self.pd_exit_ready, self.refresh_until)
-        return max(gate, cycle)
+        gate = self._gate
+        return gate if gate > cycle else cycle
 
     # ------------------------------------------------------------------
     # Activation constraints
@@ -133,18 +176,21 @@ class Rank:
     def earliest_activate(self, cycle: int, bank: int, granularity_eighths: int = 8) -> int:
         """Lower bound on the cycle the ACT could issue (for skip-ahead)."""
         weight = self._act_weight(granularity_eighths)
-        t = max(
-            cycle,
-            self.next_act_ok,
-            self.banks[bank].act_ready,
-            self.command_gate(cycle),
-        )
-        return max(t, self.faw.next_allowed(t, weight))
+        t = cycle
+        if self.next_act_ok > t:
+            t = self.next_act_ok
+        act_ready = self.banks[bank].act_ready
+        if act_ready > t:
+            t = act_ready
+        if self._gate > t:
+            t = self._gate
+        faw_t = self.faw.next_allowed(t, weight)
+        return faw_t if faw_t > t else t
 
     def record_activate(self, cycle: int, granularity_eighths: int) -> None:
         """Update tRRD/tFAW bookkeeping after an ACT was issued."""
         weight = self._act_weight(granularity_eighths)
-        trrd = self.timing.trrd
+        trrd = self._trrd
         if self.relax_act_constraints:
             trrd = max(2, math.ceil(trrd * weight))
         self.next_act_ok = cycle + trrd
@@ -175,30 +221,41 @@ class Rank:
 
     def earliest_read(self, cycle: int, bank: int) -> int:
         """Lower bound on the next legal READ cycle (skip-ahead hint)."""
-        return max(
-            cycle,
-            self.next_col_ok,
-            self.next_read_ok,
-            self.banks[bank].col_ready,
-            self.command_gate(cycle),
-        )
+        t = cycle
+        if self.next_col_ok > t:
+            t = self.next_col_ok
+        if self.next_read_ok > t:
+            t = self.next_read_ok
+        col_ready = self.banks[bank].col_ready
+        if col_ready > t:
+            t = col_ready
+        if self._gate > t:
+            t = self._gate
+        return t
 
     def earliest_write(self, cycle: int, bank: int) -> int:
         """Lower bound on the next legal WRITE cycle (skip-ahead hint)."""
-        return max(
-            cycle,
-            self.next_col_ok,
-            self.next_write_ok,
-            self.banks[bank].col_ready,
-            self.command_gate(cycle),
-        )
+        t = cycle
+        if self.next_col_ok > t:
+            t = self.next_col_ok
+        if self.next_write_ok > t:
+            t = self.next_write_ok
+        col_ready = self.banks[bank].col_ready
+        if col_ready > t:
+            t = col_ready
+        if self._gate > t:
+            t = self._gate
+        return t
 
     def record_read(self, cycle: int) -> None:
-        self.next_col_ok = cycle + self.timing.tccd
+        self.next_col_ok = cycle + self._tccd
 
     def record_write(self, cycle: int, burst_end: int) -> None:
-        self.next_col_ok = cycle + self.timing.tccd
-        self.next_read_ok = max(self.next_read_ok, burst_end + self.timing.twtr)
+        """Update tCCD and the write-to-read turnaround after a WRITE."""
+        self.next_col_ok = cycle + self._tccd
+        read_ok = burst_end + self._twtr
+        if read_ok > self.next_read_ok:
+            self.next_read_ok = read_ok
 
     def hold_write_buffer(self, until_cycle: int) -> None:
         """Block further writes until ``until_cycle`` (DM-pin delivery)."""
@@ -217,10 +274,12 @@ class Rank:
         self.accrue_background(cycle)
         for bank in self.banks:
             bank.block_for_refresh(cycle)
-        self.refresh_until = cycle + self.timing.trfc
-        self.next_refresh += self.timing.trefi
+        self.refresh_until = cycle + self._trfc
+        if self.refresh_until > self._gate:
+            self._gate = self.refresh_until
+        self.next_refresh += self._trefi
         # Bound catch-up after long idle skips: DDR3 allows deferring at
         # most 8 refreshes, so don't bunch more than that.
-        lag_floor = cycle - 8 * self.timing.trefi
+        lag_floor = cycle - 8 * self._trefi
         if self.next_refresh < lag_floor:
             self.next_refresh = lag_floor

@@ -12,6 +12,7 @@ default, so benchmark fidelity can be scaled up without code changes.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,20 @@ def default_events_per_core() -> int:
     if events <= 0:
         raise ValueError("REPRO_EVENTS must be positive")
     return events
+
+
+def _simulate_task(task: Tuple) -> SimResult:
+    """One (config, workload, events, seed, warmup) simulation.
+
+    Module-level so :meth:`ExperimentRunner.run_many` worker processes
+    can unpickle it; :class:`SimResult` is a plain dataclass tree and
+    crosses the process boundary intact.
+    """
+    config, wl, events, seed, warmup = task
+    system = System(
+        config, wl, events, seed=seed, warmup_events_per_core=warmup
+    )
+    return system.run()
 
 
 class ExperimentRunner:
@@ -81,6 +96,49 @@ class ExperimentRunner:
             result = system.run()
             self._results[key] = result
         return result
+
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        specs: Sequence[Tuple],
+        workers: Optional[int] = None,
+        events_per_core: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Run a batch of ``(workload, scheme, policy)`` specs.
+
+        With ``workers`` > 1 the *uncached* specs are simulated in a
+        process pool (each worker re-derives the same deterministic
+        per-point seed, so results are identical to serial execution);
+        everything lands in the shared cache and the results come back
+        in spec order.  Duplicate specs are simulated once.
+        """
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        events = self.events_per_core if events_per_core is None else events_per_core
+        keys: List[Tuple] = []
+        todo: Dict[Tuple, Tuple] = {}
+        for spec in specs:
+            wl, scheme, policy = spec
+            wl = lookup_workload(wl) if isinstance(wl, str) else wl
+            key = (wl.name, tuple(wl.app_names), scheme.name, policy.value, events)
+            keys.append(key)
+            if key not in self._results and key not in todo:
+                config = self.base_config.with_scheme(scheme).with_policy(policy)
+                todo[key] = (
+                    config, wl, events, self.seed, self.warmup_events_per_core
+                )
+        if todo:
+            tasks = list(todo.values())
+            if workers is not None and workers > 1 and len(tasks) > 1:
+                with multiprocessing.Pool(
+                    processes=min(workers, len(tasks))
+                ) as pool:
+                    results = pool.map(_simulate_task, tasks)
+            else:
+                results = [_simulate_task(task) for task in tasks]
+            for key, result in zip(todo, results):
+                self._results[key] = result
+        return [self._results[key] for key in keys]
 
     # ------------------------------------------------------------------
     def alone_ipcs(

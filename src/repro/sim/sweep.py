@@ -26,8 +26,9 @@ from __future__ import annotations
 import csv
 import itertools
 import json
+import multiprocessing
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.controller.policies import RowPolicy
 from repro.core.schemes import by_name
@@ -42,6 +43,37 @@ _POLICIES = {
 }
 
 _KNOWN_AXES = ("scheme", "workload", "policy", "ecc_chips")
+
+
+def _apply_point(base_config: SystemConfig, point: Dict) -> SystemConfig:
+    """Specialize ``base_config`` for one grid point."""
+    config = base_config
+    if "scheme" in point:
+        config = config.with_scheme(by_name(point["scheme"]))
+    if "policy" in point:
+        config = config.with_policy(_POLICIES[point["policy"]])
+    if "ecc_chips" in point:
+        config = replace(config, ecc_chips=int(point["ecc_chips"]))
+    return config
+
+
+def _run_point(task: Tuple) -> Dict:
+    """Simulate one grid point; module-level so worker processes can
+    unpickle it.  Returns the flattened result row (small and
+    picklable; the heavy ``System`` never crosses the process
+    boundary)."""
+    point, base_config, events, seed, warmup = task
+    config = _apply_point(base_config, point)
+    result = simulate(
+        config,
+        lookup_workload(point["workload"]),
+        events,
+        seed=seed,
+        warmup_events_per_core=warmup,
+    )
+    row = {**point}
+    row.update(result.summary())
+    return row
 
 
 class Sweep:
@@ -72,36 +104,42 @@ class Sweep:
 
     # ------------------------------------------------------------------
     def _config_for(self, point: Dict) -> SystemConfig:
-        config = self.base_config
-        if "scheme" in point:
-            config = config.with_scheme(by_name(point["scheme"]))
-        if "policy" in point:
-            config = config.with_policy(_POLICIES[point["policy"]])
-        if "ecc_chips" in point:
-            config = replace(config, ecc_chips=int(point["ecc_chips"]))
-        return config
+        return _apply_point(self.base_config, point)
 
-    def run(self) -> List[Dict]:
-        """Execute the grid; returns (and stores) one row per point."""
+    def _tasks(self) -> List[Tuple]:
+        """Materialize the grid as picklable worker tasks, in grid order."""
         if not self._axes:
             raise ValueError("add at least one axis before running")
         if "workload" not in self._axes:
             raise ValueError("a 'workload' axis is required")
         names = list(self._axes)
-        self.rows = []
-        for combo in itertools.product(*(self._axes[n] for n in names)):
-            point = dict(zip(names, combo))
-            config = self._config_for(point)
-            result = simulate(
-                config,
-                lookup_workload(point["workload"]),
+        return [
+            (
+                dict(zip(names, combo)),
+                self.base_config,
                 self.events_per_core,
-                seed=self.seed,
-                warmup_events_per_core=self.warmup,
+                self.seed,
+                self.warmup,
             )
-            row = {**point}
-            row.update(result.summary())
-            self.rows.append(row)
+            for combo in itertools.product(*(self._axes[n] for n in names))
+        ]
+
+    def run(self, workers: Optional[int] = None) -> List[Dict]:
+        """Execute the grid; returns (and stores) one row per point.
+
+        ``workers`` > 1 fans the grid points out over a process pool.
+        Every point carries the same deterministic seed either way and
+        the rows are merged back in grid order, so a parallel sweep is
+        row-for-row identical to a serial one.
+        """
+        tasks = self._tasks()
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        if workers is not None and workers > 1 and len(tasks) > 1:
+            with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
+                self.rows = pool.map(_run_point, tasks)
+        else:
+            self.rows = [_run_point(task) for task in tasks]
         return self.rows
 
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ def single_core(name):
     return _cache[name]
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(TABLE1))
 class TestTable1Bands:
     def test_read_hit_rate(self, name):

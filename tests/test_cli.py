@@ -27,6 +27,7 @@ class TestParser:
             build_parser().parse_args([])
 
 
+@pytest.mark.slow
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
@@ -71,6 +72,7 @@ class TestCommands:
         assert "restricted-close-page" in capsys.readouterr().out
 
 
+@pytest.mark.slow
 class TestSweepCommand:
     def test_sweep_csv(self, tmp_path, capsys):
         out = tmp_path / "grid.csv"

@@ -1,0 +1,85 @@
+"""Event engine vs. strict-polling oracle: bit-identical results.
+
+``System.run`` drives the simulation off a min-heap of controller
+next-wake cycles (the hint contract); ``strict_polling=True`` selects
+the reference loop that re-scans every channel each iteration.  The two
+must agree *exactly* — same served counts, same runtime cycles, same
+energy — on every scheme/workload/seed.  Any divergence means a hint
+was later than a true ready cycle (a scheduling event was skipped).
+
+The parallel sweep/runner engines carry the same obligation: a worker
+pool must reproduce the serial rows bit for bit.
+"""
+
+import pytest
+
+from repro.controller.policies import RowPolicy
+from repro.core.schemes import BASELINE, PRA
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.runner import ExperimentRunner
+from repro.sim.sweep import Sweep
+from repro.sim.system import System
+from repro.workloads.mixes import workload
+
+EVENTS = 600
+WARMUP = 2000
+
+
+def _build(scheme, workload_name, seed):
+    config = SystemConfig(scheme=scheme, cache=CacheConfig(llc_bytes=256 * 1024))
+    return System(
+        config,
+        workload(workload_name),
+        EVENTS,
+        seed=seed,
+        warmup_events_per_core=WARMUP,
+    )
+
+
+@pytest.mark.parametrize("scheme", [BASELINE, PRA], ids=lambda s: s.name)
+@pytest.mark.parametrize("workload_name", ["GUPS", "MIX2"])
+@pytest.mark.parametrize("seed", [1, 42])
+def test_event_engine_matches_polling_oracle(scheme, workload_name, seed):
+    event = _build(scheme, workload_name, seed).run()
+    polled = _build(scheme, workload_name, seed).run(strict_polling=True)
+    assert event.summary() == polled.summary()
+    assert event.controller.total_served == polled.controller.total_served
+    assert event.runtime_cycles == polled.runtime_cycles
+    assert [c.ipc for c in event.cores] == [c.ipc for c in polled.cores]
+
+
+def test_polling_flag_keyword_only():
+    """The oracle path is opt-in and must not swallow ``max_cycles``."""
+    system = _build(BASELINE, "GUPS", 1)
+    with pytest.raises(TypeError):
+        system.run(None, True)  # noqa: intentional positional misuse
+
+
+def _grid():
+    sweep = Sweep(events_per_core=300, warmup_events_per_core=1000)
+    sweep.add_axis("scheme", ["Baseline", "PRA"])
+    sweep.add_axis("workload", ["GUPS", "MIX1"])
+    return sweep
+
+
+def test_parallel_sweep_matches_serial():
+    serial = _grid().run()
+    parallel = _grid().run(workers=2)
+    assert parallel == serial
+
+
+def test_run_many_parallel_matches_serial_and_dedups():
+    specs = [
+        ("MIX1", PRA, RowPolicy.RELAXED_CLOSE),
+        ("MIX1", BASELINE, RowPolicy.RELAXED_CLOSE),
+        ("MIX1", PRA, RowPolicy.RELAXED_CLOSE),  # duplicate spec
+    ]
+    serial = ExperimentRunner(
+        events_per_core=300, warmup_events_per_core=1000
+    ).run_many(specs)
+    runner = ExperimentRunner(events_per_core=300, warmup_events_per_core=1000)
+    parallel = runner.run_many(specs, workers=2)
+    assert [r.summary() for r in parallel] == [r.summary() for r in serial]
+    # The duplicate resolved to the same cached object, simulated once.
+    assert parallel[0] is parallel[2]
+    assert len(runner._results) == 2

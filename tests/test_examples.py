@@ -11,6 +11,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 #: (script, argv, strings that must appear in stdout)

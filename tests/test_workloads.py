@@ -205,9 +205,15 @@ class TestMixes:
 class TestCrossProcessDeterminism:
     def test_seed_is_hashseed_independent(self):
         """Traces must not depend on PYTHONHASHSEED (process-stable)."""
+        import os
         import subprocess
         import sys
 
+        import repro
+
+        # Minimal env: the child still needs to find the package, which
+        # may be importable via PYTHONPATH rather than installed.
+        repro_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
         script = (
             "from repro.workloads.synthetic import generate\n"
             "from repro.workloads.profiles import profile\n"
@@ -220,7 +226,11 @@ class TestCrossProcessDeterminism:
                 [sys.executable, "-c", script],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": hashseed,
+                    "PYTHONPATH": repro_root,
+                    "PATH": "/usr/bin:/bin",
+                },
                 check=True,
             )
             outputs.add(result.stdout.strip())
