@@ -29,7 +29,7 @@ from repro.cache.dbi import DirtyBlockIndex
 from repro.cache.set_assoc import CacheStats, Eviction, SetAssociativeCache
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryTraffic:
     """DRAM-side traffic produced by one CPU access."""
 

@@ -13,9 +13,14 @@ from dataclasses import dataclass
 from repro.dram.geometry import FULL_MASK, WORDS_PER_LINE
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
-    """One cache line: tag state plus the FGD word-dirty mask."""
+    """One cache line: tag state plus the FGD word-dirty mask.
+
+    ``slots=True``: one line object exists per resident cache line and
+    one is allocated per miss, so the dict-free layout measurably cuts
+    both memory and allocation time on the simulator's cache path.
+    """
 
     line_addr: int
     dirty_mask: int = 0

@@ -42,7 +42,7 @@ class CacheStats:
         return {n: c / total for n, c in self.dirty_word_hist.items()}
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction:
     """A victim pushed out of (or cleaned in) a cache level."""
 
@@ -93,14 +93,17 @@ class SetAssociativeCache:
         mask; clean victims are returned too so callers can maintain
         inclusive/exclusive metadata (e.g. the DBI).
         """
-        cache_set, tag = self._set_and_tag(line_addr)
+        # _set_and_tag inlined: this is the hottest cache call.
+        cache_set = self._sets[line_addr % self.num_sets]
+        tag = line_addr // self.num_sets
         line = cache_set.get(tag)
         hit = line is not None
         victim: Optional[Eviction] = None
+        stats = self.stats
         if hit:
-            self.stats.hits += 1
+            stats.hits += 1
         else:
-            self.stats.misses += 1
+            stats.misses += 1
             if len(cache_set) >= self.ways:
                 victim = self._evict(cache_set)
             line = CacheLine(line_addr=line_addr)

@@ -17,21 +17,43 @@ extensions (Section 4):
 * refresh every tREFI with open-bank force-precharge.
 
 The controller is stepped by the system simulator; ``step`` issues at
-most one command and returns a *hint*: the next cycle at which calling
-again could make progress (used for event skip-ahead).
+most one *scheduling decision* and returns a *hint*: the next cycle at
+which calling again could make progress (used for event skip-ahead).
 
-The scheduling passes are deliberately written with bank/rank pruning
-and local-variable binding: this is the hottest code in the simulator.
+Two structural optimizations define this controller's hot path:
+
+**Array-backed timing state.**  All per-(rank, bank) and per-rank
+timing state lives in the channel's :class:`repro.dram.soa.TimingCore`
+flat integer arrays, indexed by ``g = rank * num_banks + bank``.  The
+scheduling passes bind those arrays as locals and read/write them
+directly; the ``Bank``/``Rank`` objects are views over the same arrays,
+so the object API (unit tests, reference models) and the scheduler can
+never disagree.
+
+**Burst-streak scheduling.**  When a bank wins arbitration with N
+queued column hits to its open row (mask-compatible under PRA), the
+entire back-to-back streak is precomputed and committed in one pass:
+issue cycles spaced ``max(tCCD, burst_cycles)`` apart (which by
+construction also fits the data bus with no intra-streak tRTRS, since
+all bursts come from one rank), completions, queue removals, stats and
+power events recorded together, and the command bus reserved until the
+last command.  This replaces N rounds of arbitration, timing checks
+and wake-heap maintenance with one.  A streak is bounded by the
+row-hit cap and never extends past any rank's refresh deadline.  Note
+the streak is *atomic*: it is a deliberate scheduling-policy change
+relative to per-command arbitration (other banks' ACT/PRE no longer
+interleave between the hits), applied identically by the event engine
+and the ``strict_polling`` oracle, which share this code.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.controller.policies import ROW_HIT_CAP, RowPolicy
-from repro.controller.queues import RequestQueue, row_key
+from repro.controller.queues import RequestQueue
 from repro.controller.stats import ControllerStats
 from repro.core import mask as mask_ops
 from repro.core.schemes import Scheme
@@ -39,7 +61,7 @@ from repro.dram.channel import Channel
 from repro.dram.geometry import FULL_MASK, WORDS_PER_LINE
 from repro.dram.commands import Request
 from repro.dram.protocol import Cmd, CommandRecord
-from repro.dram.timing import TimingParams
+from repro.dram.timing import TimingParams, derived_timing
 from repro.power.accounting import PowerAccountant
 
 _NEVER = 1 << 62
@@ -88,8 +110,9 @@ class ChannelController:
         #: Requests that found their queue full; drained FIFO as space
         #: frees (models an admission buffer in front of the controller).
         self.overflow: "deque[Request]" = deque()
-        #: Highest cycle at which this controller has issued a command,
-        #: plus one; batched simulation never reprocesses earlier cycles.
+        #: Highest cycle at which this controller has issued a command
+        #: (the last command of a streak included), plus one; batched
+        #: simulation never reprocesses earlier cycles.
         self.local_clock: int = 0
         self._other_ranks = len(channel.ranks) - 1
         #: Whether writes need full coverage from an open (partial) row.
@@ -98,15 +121,43 @@ class ChannelController:
         #: issued command is replayed through it when attached.
         self.protocol_checker = None
         # Hot-path caches (invariant after construction).
+        d = derived_timing(timing)
         self._tcas = timing.tcas
         self._tcwl = timing.tcwl
         self._twr = timing.twr
+        self._tccd = timing.tccd
+        self._trtp = timing.trtp
+        self._trp = timing.trp
+        self._tras = timing.tras
+        self._trc = timing.trc
+        self._trcd = timing.trcd
+        self._trcd_masked = d.trcd_masked
+        self._trrd = timing.trrd
+        self._trtrs = timing.trtrs
         self._frfcfs = scheduler == "frfcfs"
-        self._num_banks = len(channel.ranks[0].banks) if channel.ranks else 0
+        self._relax = scheme.relax_act_constraints
+        self._num_banks = channel.core.num_banks
         self._close_idle = policy.closes_idle_rows
         self._allows_hits = policy.allows_row_hits
         self._auto_pre = policy.auto_precharge
         self._uses_power_down = policy.uses_power_down
+        #: Shared flat timing-state arrays (see module docstring).
+        self._core = channel.core
+        #: Data-bus occupancy of one line transfer (FGA-doubled).
+        self._burst_cycles = timing.tburst * channel.burst_cycles_multiplier
+        #: Issue-to-issue spacing of streak column commands: tCCD and
+        #: back-to-back data-bus occupancy, whichever binds.
+        self._spacing = max(d.col_spacing, self._burst_cycles)
+        #: Streaks need the hit-first pass and a row-hit budget; the
+        #: fcfs ablation and restricted close-page stay per-command.
+        self._streaks = self._frfcfs and self._allows_hits
+        #: Per-global-bank-index packed row-key base: OR-ing the open
+        #: row in gives the queues' ``_by_row`` int key directly.
+        self._keybase = [
+            (r << 40) | (b << 32)
+            for r in range(channel.core.num_ranks)
+            for b in range(self._num_banks)
+        ]
         #: Per-rank bitmask of open banks whose row is known useless
         #: (no live request in either queue can use it, or the row-hit
         #: cap is exhausted).  Useless is *sticky* between arrivals:
@@ -114,6 +165,41 @@ class ChannelController:
         #: valid until a new request for that bank arrives (cleared in
         #: :meth:`enqueue`) or a new row opens (cleared on ACT).
         self._useless: List[int] = [0] * len(channel.ranks)
+        #: Per-rank lower bound on the earliest cycle any *useless* open
+        #: bank becomes closable (min pre_ready over those banks).  A
+        #: useless bank receives no column commands, so its pre_ready is
+        #: frozen until it closes; the step walk therefore skips all
+        #: useless banks with one compare until this cycle arrives
+        #: (stale-early values merely waste a probe, never delay one,
+        #: which keeps the hint contract intact).
+        self._idle_close_at: List[int] = [_NEVER] * len(channel.ranks)
+        #: Precomputed activation plan for reads (coverage, fraction,
+        #: masked, granularity, tRRD/tFAW weight) - reads never merge
+        #: masks, so the plan is a constant of the scheme.
+        _read_gran = max(1, math.ceil(scheme.read_fraction * 8 - 1e-9))
+        self._read_plan = (
+            FULL_MASK,
+            scheme.read_fraction,
+            False,
+            _read_gran,
+            _read_gran / 8.0 if self._relax else 1.0,
+        )
+        #: Everything :meth:`step` binds as locals that is identity-
+        #: stable after construction (the core arrays mutate in place
+        #: but are never reallocated).  One attribute load and a tuple
+        #: unpack replace ~25 per-call attribute lookups on the hottest
+        #: call in the simulator.
+        core = channel.core
+        self._hot = (
+            core.open_row, core.open_mask, core.act_ready,
+            core.pre_ready, core.accesses, core.autopre, core.gate,
+            core.open_bits, core.col_ready, core.reserved,
+            core.next_act_ok, core.next_col_ok, core.next_read_ok,
+            core.next_write_ok, self._keybase, self._useless,
+            self._idle_close_at, self._num_banks, self._trp,
+            self._tcas, self._tcwl, self._trtrs, self.row_hit_cap,
+            self._close_idle, self._auto_pre, self.stats,
+        )
 
     # ------------------------------------------------------------------
     # Queue interface (used by the CPU/cache side)
@@ -163,10 +249,13 @@ class ChannelController:
     # Scheduling
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> Tuple[bool, int]:
-        """Try to issue one command at ``cycle``.
+        """Try to issue one scheduling decision at ``cycle``.
 
         Returns ``(issued, hint)`` where ``hint`` is the next cycle at
-        which progress may be possible (valid when nothing issued).
+        which progress may be possible (valid when nothing issued).  A
+        decision is usually one command; a burst streak commits several
+        column commands at once and reserves the command bus until its
+        last one.
 
         The hint contract is load-bearing for the event engine in
         :meth:`repro.sim.system.System.run`: a returned hint must never
@@ -187,10 +276,12 @@ class ChannelController:
         hint = _NEVER
         refresh_pending = 0  # bitmask of ranks due for refresh
         read_q, write_q = self.read_q, self.write_q
-        close_idle = self._close_idle
-        hit_cap = self.row_hit_cap
-        stats = self.stats
-        useless = self._useless
+        no_checker = self.protocol_checker is None
+        (open_row_a, open_mask_a, act_ready_a, pre_ready_a, accesses_a,
+         autopre_a, gate_a, open_bits_a, col_ready_a, reserved_a,
+         next_act_ok_a, next_col_ok_a, next_read_ok_a, next_write_ok_a,
+         keybase, useless, idle_close_at, nb, trp, tcas, tcwl, trtrs,
+         hit_cap, close_idle, auto_pre, stats) = self._hot
 
         # --- Write drain hysteresis (48/16 watermarks) ---
         writes_pending = write_q._count
@@ -210,7 +301,7 @@ class ChannelController:
         # most once per step.
         pass1 = hit_cap and self._frfcfs
         best = None
-        best_rank = best_bank = 0
+        best_rank = best_bank = best_g = 0
         for rank_idx, rank in enumerate(channel.ranks):
             refresh_due = cycle >= rank.next_refresh
             if refresh_due:
@@ -220,94 +311,157 @@ class ChannelController:
                     if rank.pd_exit_ready < hint:
                         hint = rank.pd_exit_ready
                     continue
-                gate = rank._gate
+                gate = gate_a[rank_idx]
                 if cycle < gate:
                     if gate < hint:
                         hint = gate
                     continue
-            bits = rank.open_bits
-            banks = rank.banks
+            bits = open_bits_a[rank_idx]
+            gbase = rank_idx * nb
+            if close_idle and not refresh_due:
+                # Known-useless open banks: frozen pre_ready, nothing to
+                # probe.  Skip them all until the cached earliest-close
+                # cycle, then close the due ones and re-derive the min.
+                ubits = bits & useless[rank_idx]
+                if ubits:
+                    bits ^= ubits
+                    ca = idle_close_at[rank_idx]
+                    if cycle >= ca:
+                        new_min = _NEVER
+                        while ubits:
+                            low = ubits & -ubits
+                            ubits ^= low
+                            g = gbase + low.bit_length() - 1
+                            pr = pre_ready_a[g]
+                            if cycle >= pr:
+                                # Background state only changes when the
+                                # rank's *last* open bank closes (or its
+                                # first opens); spans between transitions
+                                # accrue lazily at the next transition,
+                                # charged to the same - unchanged - state.
+                                if not (open_bits_a[rank_idx] & ~low):
+                                    rank.accrue_background(cycle)
+                                open_bits_a[rank_idx] &= ~low
+                                open_row_a[g] = -1
+                                open_mask_a[g] = FULL_MASK
+                                act = cycle + trp
+                                if act > act_ready_a[g]:
+                                    act_ready_a[g] = act
+                                stats.precharges += 1
+                                if not no_checker:
+                                    self._observe_pre(
+                                        cycle, rank_idx,
+                                        low.bit_length() - 1, implicit=True,
+                                    )
+                            elif pr < new_min:
+                                new_min = pr
+                        idle_close_at[rank_idx] = new_min
+                        if new_min < hint:
+                            hint = new_min
+                    elif ca < hint:
+                        hint = ca
             while bits:
                 low = bits & -bits
                 bits ^= low
                 bank_idx = low.bit_length() - 1
-                bank = banks[bank_idx]
+                g = gbase + bank_idx
                 # Auto-precharge (restricted policy) is command-free.
-                if bank.pending_autopre:
-                    if cycle >= bank.pre_ready:
-                        rank.accrue_background(cycle)
-                        bank.precharge(cycle)
-                        bank.pending_autopre = False
+                if auto_pre and autopre_a[g]:
+                    if cycle >= pre_ready_a[g]:
+                        if not (open_bits_a[rank_idx] & ~low):
+                            rank.accrue_background(cycle)
+                        open_bits_a[rank_idx] &= ~low
+                        open_row_a[g] = -1
+                        open_mask_a[g] = FULL_MASK
+                        act = cycle + trp
+                        if act > act_ready_a[g]:
+                            act_ready_a[g] = act
+                        autopre_a[g] = False
                         stats.precharges += 1
-                        if self.protocol_checker is not None:
+                        if not no_checker:
                             self._observe_pre(cycle, rank_idx, bank_idx, implicit=True)
                     else:
-                        if bank.pre_ready < hint:
-                            hint = bank.pre_ready
+                        if pre_ready_a[g] < hint:
+                            hint = pre_ready_a[g]
                     continue
                 if refresh_due:
                     # Force-close for refresh (consumes the command slot).
-                    if cycle >= bank.pre_ready:
-                        rank.accrue_background(cycle)
-                        bank.precharge(cycle)
+                    if cycle >= pre_ready_a[g]:
+                        if not (open_bits_a[rank_idx] & ~low):
+                            rank.accrue_background(cycle)
+                        open_bits_a[rank_idx] &= ~low
+                        open_row_a[g] = -1
+                        open_mask_a[g] = FULL_MASK
+                        act = cycle + trp
+                        if act > act_ready_a[g]:
+                            act_ready_a[g] = act
                         stats.precharges += 1
-                        if self.protocol_checker is not None:
+                        if not no_checker:
                             self._observe_pre(cycle, rank_idx, bank_idx)
                         channel.cmd_bus_free = cycle + 1
                         return (True, cycle + 1)
-                    if bank.pre_ready < hint:
-                        hint = bank.pre_ready
+                    if pre_ready_a[g] < hint:
+                        hint = pre_ready_a[g]
                     continue
-                capped = hit_cap and bank.open_row_accesses >= hit_cap
+                capped = hit_cap and accesses_a[g] >= hit_cap
                 dq = None  # primary-queue bucket, if fetched below
                 if close_idle:
-                    if useless[rank_idx] >> bank_idx & 1:
-                        useful = False
-                    else:
-                        useful = False
-                        if not capped:
-                            key = (rank_idx, bank_idx, bank.open_row)
-                            rdq = read_q._by_row.get(key)
-                            if rdq is not None:
-                                while rdq and rdq[0].served:
-                                    rdq.popleft()
-                                if not rdq:
-                                    del read_q._by_row[key]
-                            if rdq:
+                    # Banks already known useless were stripped from the
+                    # walk above, so this bank needs a fresh probe.
+                    useful = False
+                    if not capped:
+                        key = keybase[g] | open_row_a[g]
+                        rdq = read_q._by_row.get(key)
+                        if rdq is not None:
+                            while rdq and rdq[0].served:
+                                rdq.popleft()
+                            if not rdq:
+                                del read_q._by_row[key]
+                        if rdq:
+                            useful = True
+                            if primary is read_q:
+                                dq = rdq
+                        else:
+                            wdq = write_q._by_row.get(key)
+                            if wdq is not None:
+                                while wdq and wdq[0].served:
+                                    wdq.popleft()
+                                if not wdq:
+                                    del write_q._by_row[key]
+                            if wdq:
                                 useful = True
-                                if primary is read_q:
-                                    dq = rdq
-                            else:
-                                wdq = write_q._by_row.get(key)
-                                if wdq is not None:
-                                    while wdq and wdq[0].served:
-                                        wdq.popleft()
-                                    if not wdq:
-                                        del write_q._by_row[key]
-                                if wdq:
-                                    useful = True
-                                    if primary is write_q:
-                                        dq = wdq
-                        if not useful:
-                            useless[rank_idx] |= 1 << bank_idx
+                                if primary is write_q:
+                                    dq = wdq
                     if not useful:
-                        if cycle >= bank.pre_ready:
-                            rank.accrue_background(cycle)
-                            bank.precharge(cycle)
+                        if cycle >= pre_ready_a[g]:
+                            if not (open_bits_a[rank_idx] & ~low):
+                                rank.accrue_background(cycle)
+                            open_bits_a[rank_idx] &= ~low
+                            open_row_a[g] = -1
+                            open_mask_a[g] = FULL_MASK
+                            act = cycle + trp
+                            if act > act_ready_a[g]:
+                                act_ready_a[g] = act
                             stats.precharges += 1
-                            if self.protocol_checker is not None:
+                            if not no_checker:
                                 self._observe_pre(cycle, rank_idx, bank_idx, implicit=True)
                             continue
                         # Exact wake for the close-idle opportunity: the
-                        # row is already useless, it just cannot be
-                        # closed before tRAS/tWR/tRTP expire.
-                        if bank.pre_ready < hint:
-                            hint = bank.pre_ready
+                        # row is useless, it just cannot be closed
+                        # before tRAS/tWR/tRTP expire.  Record it in the
+                        # useless set and its pre_ready in the per-rank
+                        # earliest-close cache.
+                        useless[rank_idx] |= 1 << bank_idx
+                        pr = pre_ready_a[g]
+                        if pr < idle_close_at[rank_idx]:
+                            idle_close_at[rank_idx] = pr
+                        if pr < hint:
+                            hint = pr
                         continue
                 # Pass 1: oldest ready row-buffer hit (FR-FCFS).
                 if pass1 and not capped:
                     if dq is None:
-                        key = (rank_idx, bank_idx, bank.open_row)
+                        key = keybase[g] | open_row_a[g]
                         dq = primary_by_row.get(key)
                         if dq is not None:
                             while dq and dq[0].served:
@@ -316,7 +470,7 @@ class ChannelController:
                                 del primary_by_row[key]
                     if dq:
                         cand = dq[0]
-                        if not (cand._needed & ~bank.open_mask) and (
+                        if not (cand._needed & ~open_mask_a[g]) and (
                             best is None
                             or cand.arrive_cycle < best.arrive_cycle
                             or (
@@ -327,14 +481,15 @@ class ChannelController:
                             best = cand
                             best_rank = rank_idx
                             best_bank = bank_idx
-            if rank.open_bits:
+                            best_g = g
+            if open_bits_a[rank_idx]:
                 continue
             if refresh_due:
-                if not rank.powered_down and cycle >= rank._gate:
+                if not rank.powered_down and cycle >= gate_a[rank_idx]:
                     rank.do_refresh(cycle)
                     self.accountant.on_refresh()
                     stats.refreshes += 1
-                    if self.protocol_checker is not None:
+                    if not no_checker:
                         self._observe(CommandRecord(cycle=cycle, cmd=Cmd.REF, rank=rank_idx))
                     channel.cmd_bus_free = cycle + 1
                     return (True, cycle + 1)
@@ -347,36 +502,47 @@ class ChannelController:
                 rank.enter_power_down(cycle)
                 stats.power_down_entries += 1
 
+        # The data bus is only reserved by column issue, which ends the
+        # step - so one read per step is safe.
+        free = channel.data_bus_free
+        last = channel.last_burst_rank
+
         # --- Pass 1 column attempt for the best ready hit ---
         skip_req = None
         skip_hint = 0
         if best is not None:
-            rank = channel.ranks[best_rank]
+            ri = best_rank
             # Rank/bank column-readiness pre-check, including data-bus
             # fitting: the full attempt only matters once both the
             # command slot and the burst slot are legal.  Bus occupancy
             # never shrinks, so the bus-aware hint is never late.
-            t = rank.next_col_ok
-            o = rank.next_read_ok if best.is_read else rank.next_write_ok
+            t = next_col_ok_a[ri]
+            o = next_read_ok_a[ri] if best.is_read else next_write_ok_a[ri]
             if o > t:
                 t = o
-            cr = rank.banks[best_bank].col_ready
+            cr = col_ready_a[best_g]
             if cr > t:
                 t = cr
-            if rank._gate > t:
-                t = rank._gate
+            if gate_a[ri] > t:
+                t = gate_a[ri]
             if t < cycle:
                 t = cycle
-            dd = self._tcas if best.is_read else self._tcwl
-            bus_start = channel.earliest_burst_start(t + dd, best_rank)
-            if bus_start > t + dd:
-                t = bus_start - dd
+            dd = tcas if best.is_read else tcwl
+            bs = t + dd
+            if bs < free:
+                bs = free
+            if last != ri and last != -1:
+                alt = free + trtrs
+                if alt > bs:
+                    bs = alt
+            if bs > t + dd:
+                t = bs - dd
             if t > cycle:
-                issued, h = False, t
+                h = t
             else:
                 issued, h = self._try_column(cycle, best, best_rank, best_bank)
-            if issued:
-                return (True, cycle + 1)
+                if issued:
+                    return (True, cycle + 1)
             if h < hint:
                 hint = h
             # Pass 2 would retry the identical attempt for this
@@ -385,16 +551,171 @@ class ChannelController:
             skip_hint = h
 
         # --- Pass 2: oldest-first over the primary queue ---
-        issued, h = self._try_oldest(
-            cycle, primary, refresh_pending, skip_req, skip_hint
-        )
-        if issued:
-            return (True, cycle + 1)
-        if h < hint:
-            hint = h
+        # Inlined into step() so both passes share one set of local
+        # bindings; this scan is the hottest loop in the simulator.
+        banks_seen = 0  # bitmask over (rank, bank) pairs
+        ranks = channel.ranks
+        allows_hits = self._allows_hits
+        scan_left = self.scan_depth
+        # Direct FIFO scan (hot path): equivalent to iter_oldest() but
+        # without generator overhead.
+        fifo = primary._fifo
+        while fifo and fifo[0].served:
+            fifo.popleft()
+        for req in fifo:
+            if req.served:
+                continue
+            addr = req.addr
+            rank_idx = addr.rank
+            if refresh_pending and refresh_pending >> rank_idx & 1:
+                if scan_left <= 1:
+                    break
+                scan_left -= 1
+                continue
+            bank_idx = addr.bank
+            g = rank_idx * nb + bank_idx
+            bank_bit = 1 << g
+            if banks_seen & bank_bit:
+                # An older request to this bank already failed.
+                if scan_left <= 1:
+                    break
+                scan_left -= 1
+                continue
+            banks_seen |= bank_bit
+            rank = ranks[rank_idx]
+            if rank.powered_down:
+                rank.exit_power_down(cycle)
+                if rank.pd_exit_ready < hint:
+                    hint = rank.pd_exit_ready
+                if scan_left <= 1:
+                    break
+                scan_left -= 1
+                continue
+            open_row = open_row_a[g]
+            if open_row < 0:
+                # Cheap ACT pre-check before the (mask-merging) full
+                # attempt: the plan only matters once the slot is legal.
+                t = next_act_ok_a[rank_idx]
+                if act_ready_a[g] > t:
+                    t = act_ready_a[g]
+                if gate_a[rank_idx] > t:
+                    t = gate_a[rank_idx]
+                if t > cycle:
+                    h = t
+                else:
+                    issued, h = self._try_activate(cycle, req, rank_idx, bank_idx)
+                    if issued:
+                        return (True, cycle + 1)
+            elif open_row == addr.row and not (req._needed & ~open_mask_a[g]):
+                # Restricted close-page permits exactly one column access
+                # per activation: the one the ACT was issued for.
+                may_access = (
+                    accesses_a[g] < hit_cap
+                    if allows_hits
+                    else (accesses_a[g] == 0 and reserved_a[g] == req.req_id)
+                )
+                if may_access:
+                    if req is skip_req:
+                        # Pass 1 already made this exact attempt (same
+                        # request, same cycle, no state change since);
+                        # replay its failure instead of recomputing.
+                        h = skip_hint
+                    else:
+                        t = next_col_ok_a[rank_idx]
+                        o = (
+                            next_read_ok_a[rank_idx]
+                            if req.is_read
+                            else next_write_ok_a[rank_idx]
+                        )
+                        if o > t:
+                            t = o
+                        cr = col_ready_a[g]
+                        if cr > t:
+                            t = cr
+                        if gate_a[rank_idx] > t:
+                            t = gate_a[rank_idx]
+                        if t < cycle:
+                            t = cycle
+                        dd = tcas if req.is_read else tcwl
+                        bs = t + dd
+                        if bs < free:
+                            bs = free
+                        if last != rank_idx and last != -1:
+                            alt = free + trtrs
+                            if alt > bs:
+                                bs = alt
+                        if bs > t + dd:
+                            t = bs - dd
+                        if t > cycle:
+                            h = t
+                        else:
+                            issued, h = self._try_column(cycle, req, rank_idx, bank_idx)
+                            if issued:
+                                return (True, cycle + 1)
+                else:
+                    # Row exhausted for this request: explicit PRE.
+                    gate = gate_a[rank_idx]
+                    pr = pre_ready_a[g]
+                    if cycle < gate:
+                        h = gate
+                    elif cycle < pr:
+                        h = pr
+                    else:
+                        bank_low = 1 << bank_idx
+                        if not (open_bits_a[rank_idx] & ~bank_low):
+                            rank.accrue_background(cycle)
+                        open_bits_a[rank_idx] &= ~bank_low
+                        open_row_a[g] = -1
+                        open_mask_a[g] = FULL_MASK
+                        act = cycle + trp
+                        if act > act_ready_a[g]:
+                            act_ready_a[g] = act
+                        autopre_a[g] = False
+                        stats.precharges += 1
+                        if not no_checker:
+                            self._observe_pre(cycle, rank_idx, bank_idx)
+                        channel.cmd_bus_free = cycle + 1
+                        return (True, cycle + 1)
+            else:
+                if open_row == addr.row and not req._false:
+                    req._false = True
+                    stats.false_hit_reactivations += 1
+                if self._row_still_useful(rank_idx, bank_idx, g, primary):
+                    if scan_left <= 1:
+                        break
+                    scan_left -= 1
+                    continue  # let pending hits to the open row drain first
+                # Conflicting row: explicit PRE.
+                gate = gate_a[rank_idx]
+                pr = pre_ready_a[g]
+                if cycle < gate:
+                    h = gate
+                elif cycle < pr:
+                    h = pr
+                else:
+                    bank_low = 1 << bank_idx
+                    if not (open_bits_a[rank_idx] & ~bank_low):
+                        rank.accrue_background(cycle)
+                    open_bits_a[rank_idx] &= ~bank_low
+                    open_row_a[g] = -1
+                    open_mask_a[g] = FULL_MASK
+                    act = cycle + trp
+                    if act > act_ready_a[g]:
+                        act_ready_a[g] = act
+                    autopre_a[g] = False
+                    stats.precharges += 1
+                    if not no_checker:
+                        self._observe_pre(cycle, rank_idx, bank_idx)
+                    channel.cmd_bus_free = cycle + 1
+                    return (True, cycle + 1)
+            if h < hint:
+                hint = h
+            if scan_left <= 1:
+                break
+            scan_left -= 1
 
         # Idle: wake for the next refresh deadline.
-        for rank in channel.ranks:
+        for rank in ranks:
             if rank.next_refresh < hint:
                 hint = rank.next_refresh
         return (False, hint if hint > cycle else cycle + 1)
@@ -425,7 +746,6 @@ class ChannelController:
         while local < limit:
             issued, hint = step(local)
             if issued:
-                self.local_clock = local + 1
                 n = len(completed)
                 if n > completions_seen:
                     while completions_seen < n:
@@ -434,16 +754,17 @@ class ChannelController:
                             limit = done_cycle
                         completions_seen += 1
                 # Nothing can issue while the command bus is busy (a
-                # masked ACT owns two cycles), and ``step`` bails on a
-                # busy bus before any housekeeping - so jump straight
-                # past it instead of probing just to learn that.
+                # masked ACT owns two cycles, a streak owns it through
+                # its last column command), and ``step`` bails on a busy
+                # bus before any housekeeping - so jump straight past it
+                # instead of probing just to learn that.
                 nxt = local + 1
-                if nxt < limit:
-                    bus_free = self.channel.cmd_bus_free
-                    if bus_free > nxt:
-                        if bus_free >= limit:
-                            return bus_free
-                        nxt = bus_free
+                bus_free = self.channel.cmd_bus_free
+                if bus_free > nxt:
+                    nxt = bus_free
+                self.local_clock = nxt
+                if nxt >= limit:
+                    return nxt
                 local = nxt
                 continue
             if hint >= limit:
@@ -456,129 +777,8 @@ class ChannelController:
         return limit
 
     # ------------------------------------------------------------------
-    def _try_oldest(
-        self,
-        cycle: int,
-        primary: RequestQueue,
-        refresh_pending: int,
-        skip_req: Optional[Request] = None,
-        skip_hint: int = 0,
-    ) -> Tuple[bool, int]:
-        hint = _NEVER
-        banks_seen = 0  # bitmask over (rank, bank) pairs
-        channel = self.channel
-        ranks = channel.ranks
-        num_banks = self._num_banks
-        allows_hits = self._allows_hits
-        hit_cap = self.row_hit_cap
-        scan_left = self.scan_depth
-        # Direct FIFO scan (hot path): equivalent to iter_oldest() but
-        # without generator overhead.
-        fifo = primary._fifo
-        while fifo and fifo[0].served:
-            fifo.popleft()
-        for req in fifo:
-            if req.served:
-                continue
-            addr = req.addr
-            rank_idx = addr.rank
-            if refresh_pending >> rank_idx & 1:
-                if scan_left <= 1:
-                    break
-                scan_left -= 1
-                continue
-            bank_idx = addr.bank
-            bank_bit = 1 << (rank_idx * num_banks + bank_idx)
-            if banks_seen & bank_bit:
-                # An older request to this bank already failed.
-                if scan_left <= 1:
-                    break
-                scan_left -= 1
-                continue
-            banks_seen |= bank_bit
-            rank = ranks[rank_idx]
-            if rank.powered_down:
-                rank.exit_power_down(cycle)
-                if rank.pd_exit_ready < hint:
-                    hint = rank.pd_exit_ready
-                if scan_left <= 1:
-                    break
-                scan_left -= 1
-                continue
-            bank = rank.banks[bank_idx]
-            open_row = bank.open_row
-            if open_row is None:
-                # Cheap ACT pre-check before the (mask-merging) full
-                # attempt: the plan only matters once the slot is legal.
-                t = rank.next_act_ok
-                if bank.act_ready > t:
-                    t = bank.act_ready
-                if rank._gate > t:
-                    t = rank._gate
-                if t > cycle:
-                    issued, h = False, t
-                else:
-                    issued, h = self._try_activate(cycle, req, rank_idx, bank_idx)
-            elif open_row == addr.row and not (req._needed & ~bank.open_mask):
-                # Restricted close-page permits exactly one column access
-                # per activation: the one the ACT was issued for.
-                may_access = (
-                    bank.open_row_accesses < hit_cap
-                    if allows_hits
-                    else (
-                        bank.open_row_accesses == 0
-                        and bank.reserved_req == req.req_id
-                    )
-                )
-                if may_access:
-                    if req is skip_req:
-                        # Pass 1 already made this exact attempt (same
-                        # request, same cycle, no state change since);
-                        # replay its failure instead of recomputing.
-                        issued, h = False, skip_hint
-                    else:
-                        t = rank.next_col_ok
-                        o = rank.next_read_ok if req.is_read else rank.next_write_ok
-                        if o > t:
-                            t = o
-                        cr = bank.col_ready
-                        if cr > t:
-                            t = cr
-                        if rank._gate > t:
-                            t = rank._gate
-                        if t < cycle:
-                            t = cycle
-                        dd = self._tcas if req.is_read else self._tcwl
-                        bus_start = channel.earliest_burst_start(t + dd, rank_idx)
-                        if bus_start > t + dd:
-                            t = bus_start - dd
-                        if t > cycle:
-                            issued, h = False, t
-                        else:
-                            issued, h = self._try_column(cycle, req, rank_idx, bank_idx)
-                else:
-                    issued, h = self._try_precharge(cycle, rank, bank, rank_idx, bank_idx)
-            else:
-                if open_row == addr.row and not req._false:
-                    req._false = True
-                    self.stats.false_hit_reactivations += 1
-                if self._row_still_useful(rank_idx, bank_idx, bank, primary):
-                    if scan_left <= 1:
-                        break
-                    scan_left -= 1
-                    continue  # let pending hits to the open row drain first
-                issued, h = self._try_precharge(cycle, rank, bank, rank_idx, bank_idx)
-            if issued:
-                return (True, hint)
-            if h < hint:
-                hint = h
-            if scan_left <= 1:
-                break
-            scan_left -= 1
-        return (False, hint)
-
     def _row_still_useful(
-        self, rank_idx: int, bank_idx: int, bank, primary: RequestQueue
+        self, rank_idx: int, bank_idx: int, g: int, primary: RequestQueue
     ) -> bool:
         """True if the open row has coverable requests in ``primary``.
 
@@ -596,12 +796,13 @@ class ChannelController:
             # Known-useless (empty buckets in both queues, or capped):
             # skip the bucket walk entirely.
             return False
-        if bank.open_row_accesses >= self.row_hit_cap:
+        core = self._core
+        if core.accesses[g] >= self.row_hit_cap:
             return False
-        dq = primary._by_row.get((rank_idx, bank_idx, bank.open_row))
+        dq = primary._by_row.get(self._keybase[g] | core.open_row[g])
         if not dq:
             return False
-        closed_groups = ~bank.open_mask
+        closed_groups = ~core.open_mask[g]
         for cand in dq:
             if not cand.served and not (cand._needed & closed_groups):
                 return True
@@ -615,7 +816,7 @@ class ChannelController:
         scheme = self.scheme
         if req.is_write and scheme.write_uses_mask:
             merged = req.dirty_mask
-            dq = self.write_q._by_row.get(row_key(req))
+            dq = self.write_q._by_row.get(req._rowkey)
             if dq:
                 for w in dq:
                     if not w.served:
@@ -632,35 +833,73 @@ class ChannelController:
     def _try_activate(
         self, cycle: int, req: Request, rank_idx: int, bank_idx: int
     ) -> Tuple[bool, int]:
+        core = self._core
+        g = rank_idx * self._num_banks + bank_idx
         rank = self.channel.ranks[rank_idx]
-        bank = rank.banks[bank_idx]
-        coverage, fraction, masked = self._activation_plan(req)
-        # Ceil, not round: a 2.5/8 activation must weigh at least 3/8
-        # in the tRRD/tFAW budget (conservative for peak power).
-        granularity = max(1, math.ceil(fraction * 8 - 1e-9))
-        earliest = rank.earliest_activate(cycle, bank_idx, granularity)
-        if earliest > cycle:
-            return (False, earliest)
+        relax = self._relax
+        if req.is_read:
+            # Reads always activate the scheme's fixed read fraction;
+            # the whole plan (and its tRRD/tFAW weight) is precomputed.
+            coverage, fraction, masked, granularity, weight = self._read_plan
+        else:
+            coverage, fraction, masked = self._activation_plan(req)
+            # Ceil, not round: a 2.5/8 activation must weigh at least
+            # 3/8 in the tRRD/tFAW budget (conservative for peak power).
+            granularity = max(1, math.ceil(fraction * 8 - 1e-9))
+            weight = granularity / 8.0 if relax else 1.0
+        t = cycle
+        v = core.next_act_ok[rank_idx]
+        if v > t:
+            t = v
+        v = core.act_ready[g]
+        if v > t:
+            t = v
+        v = core.gate[rank_idx]
+        if v > t:
+            t = v
+        faw_t = rank.faw.next_allowed(t, weight)
+        if faw_t > t:
+            t = faw_t
+        if t > cycle:
+            return (False, t)
         if masked and self.scheme.mask_via_dm_pin:
             # Section 4.2 alternative: the mask rides the DM pin, so no
             # +1 tRCD and no second command-bus cycle - but the chip's
             # write buffer is occupied until the partial activation
             # completes, blocking further writes to this rank (the
             # rank/bank-parallelism cost the paper warns about).
-            rank.hold_write_buffer(cycle + self.timing.trcd)
-        rank.accrue_background(cycle)
+            until = cycle + self._trcd
+            if until > core.next_write_ok[rank_idx]:
+                core.next_write_ok[rank_idx] = until
+        if not core.open_bits[rank_idx]:
+            # First open bank on this rank: background state flips from
+            # precharged standby to active standby, so settle the span
+            # accrued under the old state before mutating.
+            rank.accrue_background(cycle)
         act_mask = coverage if masked else FULL_MASK
         pays_mask_cycle = masked and self.scheme.masked_act_extra_cycle
-        bank.activate(
-            cycle, req.addr.row, act_mask, mask_transfer_cycle=pays_mask_cycle
-        )
-        rank.record_activate(cycle, granularity)
+        row = req.addr.row
+        core.open_bits[rank_idx] |= 1 << bank_idx
+        core.open_row[g] = row
+        core.open_mask[g] = act_mask
+        core.col_ready[g] = cycle + (self._trcd_masked if pays_mask_cycle else self._trcd)
+        pre = cycle + self._tras
+        if pre > core.pre_ready[g]:
+            core.pre_ready[g] = pre
+        core.act_ready[g] = cycle + self._trc
+        core.last_act[g] = cycle
+        core.accesses[g] = 0
+        trrd = self._trrd
+        if relax:
+            trrd = max(2, math.ceil(trrd * weight))
+        core.next_act_ok[rank_idx] = cycle + trrd
+        rank.faw.record(cycle, weight)
         self._useless[rank_idx] &= ~(1 << bank_idx)
-        bank.reserved_req = req.req_id if self._auto_pre else None
+        core.reserved[g] = req.req_id if self._auto_pre else None
         if self.protocol_checker is not None:
             self._observe(CommandRecord(
                 cycle=cycle, cmd=Cmd.ACT, rank=rank_idx, bank=bank_idx,
-                row=req.addr.row, mask=act_mask, granularity=granularity,
+                row=row, mask=act_mask, granularity=granularity,
                 masked=pays_mask_cycle))
         self.accountant.on_activate_fraction(fraction)
         kind_stats = self.stats.reads if req.is_read else self.stats.writes
@@ -669,92 +908,177 @@ class ChannelController:
         self.channel.cmd_bus_free = cycle + (2 if pays_mask_cycle else 1)
         return (True, cycle + 1)
 
-    def _try_precharge(
-        self, cycle, rank, bank, rank_idx=None, bank_idx=None
-    ) -> Tuple[bool, int]:
-        gate = rank._gate
-        if cycle < gate:
-            return (False, gate)
-        if bank.open_row is None or cycle < bank.pre_ready:
-            return (False, bank.pre_ready if bank.pre_ready > cycle else cycle + 1)
-        rank.accrue_background(cycle)
-        bank.precharge(cycle)
-        bank.pending_autopre = False
-        self.stats.precharges += 1
-        if self.protocol_checker is not None:
-            if rank_idx is None:
-                rank_idx = self.channel.ranks.index(rank)
-                bank_idx = rank.banks.index(bank)
-            self._observe(CommandRecord(
-                cycle=cycle, cmd=Cmd.PRE, rank=rank_idx, bank=bank_idx))
-        self.channel.cmd_bus_free = cycle + 1
-        return (True, cycle + 1)
-
     def _try_column(
         self, cycle: int, req: Request, rank_idx: int, bank_idx: int
     ) -> Tuple[bool, int]:
+        """Issue the column command for ``req`` at ``cycle`` and extend
+        it into a burst streak when more mask-compatible hits are queued.
+
+        Callers have already verified rank/bank column readiness, the
+        command gate and data-bus fitting for the *first* command, so
+        this method commits unconditionally.  Streak command *i* issues
+        at ``cycle + i * spacing`` with ``spacing = max(tCCD,
+        burst_cycles)``: tCCD-legal by construction, and the data bus
+        fits because consecutive bursts from one rank are contiguous or
+        gapped (no tRTRS within a rank).  The streak is bounded by the
+        remaining row-hit budget and by every rank's refresh deadline
+        (it issues no ACTs, so tRRD/tFAW are untouched).
+        """
         channel = self.channel
-        rank = channel.ranks[rank_idx]
-        bank = rank.banks[bank_idx]
+        core = self._core
+        g = rank_idx * self._num_banks + bank_idx
         is_read = req.is_read
         if is_read:
-            earliest = rank.earliest_read(cycle, bank_idx)
-            data_delay = self._tcas
+            dd = self._tcas
+            queue = self.read_q
         else:
-            earliest = rank.earliest_write(cycle, bank_idx)
-            data_delay = self._tcwl
-        if earliest > cycle or rank.powered_down:
-            return (False, earliest if earliest > cycle else cycle + 1)
-        burst_start = cycle + data_delay
-        bus_start = channel.earliest_burst_start(burst_start, rank_idx)
-        if bus_start > burst_start:
-            back_off = bus_start - data_delay
-            return (False, back_off if back_off > cycle else cycle + 1)
-        if is_read:
-            bank.read(cycle)
-        else:
-            bank.write(cycle)
-        burst_end = channel.occupy_data_bus(burst_start, rank_idx)
-        if self.protocol_checker is not None:
-            self._observe(CommandRecord(
-                cycle=cycle, cmd=Cmd.RD if is_read else Cmd.WR,
-                rank=rank_idx, bank=bank_idx,
-                burst_start=burst_start, burst_end=burst_end,
-                needed_mask=req._needed))
-        # Recompute recovery with the channel's (possibly FGA-doubled)
-        # burst length: the device cannot precharge before data is in.
-        if is_read:
-            rank.record_read(cycle)
-        else:
-            pre = burst_end + self._twr
-            if pre > bank.pre_ready:
-                bank.pre_ready = pre
-            rank.record_write(cycle, burst_end)
-        if self._auto_pre:
-            bank.pending_autopre = True
+            dd = self._tcwl
+            queue = self.write_q
+        burst_cycles = self._burst_cycles
+        spacing = self._spacing
 
-        was_hit = not req._missed
-        was_false = req._false
+        members = None
+        n = 1
+        if self._streaks:
+            budget = self.row_hit_cap - core.accesses[g] - 1
+            if budget > 0:
+                dq = queue._by_row.get(self._keybase[g] | core.open_row[g])
+                if dq is not None and len(dq) > 1:
+                    # A streak owns the command bus until its last
+                    # command; never extend past any rank's refresh
+                    # deadline so refresh service is not starved.
+                    horizon = _NEVER
+                    for r in channel.ranks:
+                        if r.next_refresh < horizon:
+                            horizon = r.next_refresh
+                    cap = (horizon - 1 - cycle) // spacing
+                    if cap < budget:
+                        budget = cap
+                    if budget > 0:
+                        open_mask = core.open_mask[g]
+                        for cand in dq:
+                            if cand.served or cand is req:
+                                continue
+                            if cand._needed & ~open_mask:
+                                continue
+                            if members is None:
+                                members = [req, cand]
+                            else:
+                                members.append(cand)
+                            budget -= 1
+                            if not budget:
+                                break
+                        if members is not None:
+                            n = len(members)
+
+        t_last = cycle + (n - 1) * spacing
+        last_burst_end = t_last + dd + burst_cycles
+
+        # Net device/bus state after n back-to-back column commands.
+        core.col_ready[g] = t_last + self._tccd
+        core.accesses[g] += n
+        core.next_col_ok[rank_idx] = t_last + self._tccd
         if is_read:
-            req.complete_cycle = burst_end
-            latency = burst_end - req.arrive_cycle
-            self.stats.reads.record_service(was_hit, was_false, latency)
-            self.read_q.remove(req)
-            self.completed_reads.append((burst_end, req))
-            self.accountant.on_read_burst(other_ranks=self._other_ranks)
+            pre = t_last + self._trtp
+            if pre > core.pre_ready[g]:
+                core.pre_ready[g] = pre
         else:
-            req.complete_cycle = cycle
-            latency = cycle - req.arrive_cycle
-            self.stats.writes.record_service(was_hit, was_false, latency)
-            self.write_q.remove(req)
-            if self.scheme.scale_write_io:
-                driven = mask_ops.popcount(req.dirty_mask) / WORDS_PER_LINE
+            pre = last_burst_end + self._twr
+            if pre > core.pre_ready[g]:
+                core.pre_ready[g] = pre
+            read_ok = last_burst_end + self.timing.twtr
+            if read_ok > core.next_read_ok[rank_idx]:
+                core.next_read_ok[rank_idx] = read_ok
+        channel.data_bus_free = last_burst_end
+        channel.last_burst_rank = rank_idx
+        channel.data_bus_busy_cycles += n * burst_cycles
+        if self._auto_pre:
+            core.autopre[g] = True
+        channel.cmd_bus_free = t_last + 1
+
+        other_ranks = self._other_ranks
+        accountant = self.accountant
+        if n == 1:
+            burst_start = cycle + dd
+            burst_end = last_burst_end
+            if self.protocol_checker is not None:
+                self._observe(CommandRecord(
+                    cycle=cycle, cmd=Cmd.RD if is_read else Cmd.WR,
+                    rank=rank_idx, bank=bank_idx,
+                    burst_start=burst_start, burst_end=burst_end,
+                    needed_mask=req._needed))
+            was_hit = not req._missed
+            if is_read:
+                req.complete_cycle = burst_end
+                self.stats.reads.record_service(
+                    was_hit, req._false, burst_end - req.arrive_cycle
+                )
+                queue.remove(req)
+                self.completed_reads.append((burst_end, req))
+                accountant.on_read_burst(other_ranks=other_ranks)
             else:
-                driven = 1.0
-            self.accountant.on_write_burst(
-                driven_fraction=driven, other_ranks=self._other_ranks
-            )
-        channel.cmd_bus_free = cycle + 1
+                req.complete_cycle = cycle
+                self.stats.writes.record_service(
+                    was_hit, req._false, cycle - req.arrive_cycle
+                )
+                queue.remove(req)
+                if self.scheme.scale_write_io:
+                    driven = mask_ops.popcount(req.dirty_mask) / WORDS_PER_LINE
+                else:
+                    driven = 1.0
+                accountant.on_write_burst(
+                    driven_fraction=driven, other_ranks=other_ranks
+                )
+            return (True, cycle + 1)
+
+        # --- Streak commit: per-request bookkeeping in issue order ---
+        kind_stats = self.stats.reads if is_read else self.stats.writes
+        completed = self.completed_reads
+        checker = self.protocol_checker
+        scale_io = (not is_read) and self.scheme.scale_write_io
+        drive_counts = {} if scale_io else None
+        latencies = []
+        hits = falses = 0
+        t = cycle
+        for r in members:
+            burst_start = t + dd
+            burst_end = burst_start + burst_cycles
+            if checker is not None:
+                self._observe(CommandRecord(
+                    cycle=t, cmd=Cmd.RD if is_read else Cmd.WR,
+                    rank=rank_idx, bank=bank_idx,
+                    burst_start=burst_start, burst_end=burst_end,
+                    needed_mask=r._needed))
+            if not r._missed:
+                hits += 1
+            if r._false:
+                falses += 1
+            if is_read:
+                r.complete_cycle = burst_end
+                latencies.append(burst_end - r.arrive_cycle)
+                completed.append((burst_end, r))
+            else:
+                r.complete_cycle = t
+                latencies.append(t - r.arrive_cycle)
+                if drive_counts is not None:
+                    drv = mask_ops.popcount(r.dirty_mask)
+                    drive_counts[drv] = drive_counts.get(drv, 0) + 1
+            queue.remove(r)
+            t += spacing
+        kind_stats.record_services(latencies, hits, falses)
+        if is_read:
+            accountant.on_read_burst(other_ranks=other_ranks, count=n)
+        elif drive_counts is not None:
+            for drv, cnt in drive_counts.items():
+                accountant.on_write_burst(
+                    driven_fraction=drv / WORDS_PER_LINE,
+                    other_ranks=other_ranks,
+                    count=cnt,
+                )
+        else:
+            accountant.on_write_burst(other_ranks=other_ranks, count=n)
+        self.stats.streaks += 1
+        self.stats.streak_commands += n
         return (True, cycle + 1)
 
     # ------------------------------------------------------------------

@@ -28,6 +28,17 @@ def row_key(req: Request) -> RowKey:
     return (addr.rank, addr.bank, addr.row)
 
 
+def pack_row_key(key: RowKey) -> int:
+    """Pack a (rank, bank, row) tuple into the int the row index uses.
+
+    The internal ``_by_row`` dict is keyed by this packed form
+    (``Request._rowkey``): hashing one int beats hashing a 3-tuple on
+    the controller's per-step bucket probes.  Public tuple-keyed methods
+    convert on entry so callers never see the encoding.
+    """
+    return (key[0] << 40) | (key[1] << 32) | key[2]
+
+
 class RequestQueue:
     """FCFS queue with a row index and lazy removal."""
 
@@ -36,7 +47,8 @@ class RequestQueue:
             raise ValueError("queue capacity must be positive")
         self.capacity = capacity
         self._fifo: Deque[Request] = deque()
-        self._by_row: Dict[RowKey, Deque[Request]] = {}
+        #: Row index keyed by the packed int form (``pack_row_key``).
+        self._by_row: Dict[int, Deque[Request]] = {}
         self._per_rank: Dict[int, int] = {}
         self._count = 0
 
@@ -53,8 +65,7 @@ class RequestQueue:
             raise OverflowError("queue full")
         req.served = False
         self._fifo.append(req)
-        key = row_key(req)
-        self._by_row.setdefault(key, deque()).append(req)
+        self._by_row.setdefault(req._rowkey, deque()).append(req)
         self._per_rank[req.addr.rank] = self._per_rank.get(req.addr.rank, 0) + 1
         self._count += 1
 
@@ -92,12 +103,13 @@ class RequestQueue:
 
     def oldest_for_row(self, key: RowKey) -> Optional[Request]:
         """Oldest live request targeting the row, or None."""
-        dq = self._by_row.get(key)
+        packed = pack_row_key(key)
+        dq = self._by_row.get(packed)
         if dq is None:
             return None
         self._compact(dq)
         if not dq:
-            del self._by_row[key]
+            del self._by_row[packed]
             return None
         return dq[0]
 
@@ -106,7 +118,7 @@ class RequestQueue:
 
     def requests_for_row(self, key: RowKey) -> List[Request]:
         """All live requests targeting the row, oldest first."""
-        dq = self._by_row.get(key)
+        dq = self._by_row.get(pack_row_key(key))
         if not dq:
             return []
         return [r for r in dq if not r.served]

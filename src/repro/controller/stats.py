@@ -51,6 +51,23 @@ class KindStats:
             self.latency_max = latency
         self.latency_hist.record(latency)
 
+    def record_services(self, latencies, hits: int, falses: int) -> None:
+        """Account a batch of served requests (one burst streak).
+
+        Equivalent to ``len(latencies)`` calls to :meth:`record_service`
+        with ``hits`` of them row hits and ``falses`` false hits, but
+        with the counter updates and histogram inserts amortized over
+        the batch.
+        """
+        self.served += len(latencies)
+        self.row_hits += hits
+        self.false_hits += falses
+        self.latency_sum += sum(latencies)
+        m = max(latencies)
+        if m > self.latency_max:
+            self.latency_max = m
+        self.latency_hist.record_many(latencies)
+
 
 @dataclass
 class ControllerStats:
@@ -65,6 +82,11 @@ class ControllerStats:
     power_down_entries: int = 0
     #: Extra activations caused by false row-buffer hits.
     false_hit_reactivations: int = 0
+    #: Burst streaks committed (multi-command column batches) and the
+    #: total column commands they covered; ``streak_commands /
+    #: streaks`` is the mean streak length.
+    streaks: int = 0
+    streak_commands: int = 0
 
     def merge(self, other: "ControllerStats") -> None:
         """Accumulate another channel's counters into this one."""
@@ -81,6 +103,8 @@ class ControllerStats:
         self.precharges += other.precharges
         self.power_down_entries += other.power_down_entries
         self.false_hit_reactivations += other.false_hit_reactivations
+        self.streaks += other.streaks
+        self.streak_commands += other.streak_commands
 
     # ------------------------------------------------------------------
     # Derived metrics used by the experiment harness

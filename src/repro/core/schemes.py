@@ -129,6 +129,17 @@ DBI_PRA = Scheme(
     dbi=True,
 )
 
+#: Skinflint DRAM System (the Section 3 comparison point), modelled at
+#: scheme level: rows are always fully activated (no masked ACTs, no
+#: false row-buffer hits, stock tRRD/tFAW), but write bursts drive
+#: only the dirty words on the bus.  Doubles as the ablation isolating
+#: PRA's write-I/O-termination savings from its activation savings
+#: (:mod:`repro.core.sds` holds the per-chip coverage comparator).
+SDS = Scheme(
+    name="SDS",
+    scale_write_io=True,
+)
+
 PRA_DM = Scheme(
     name="PRA-DM",
     write_uses_mask=True,
@@ -144,7 +155,9 @@ MAIN_SCHEMES = (BASELINE, FGA, HALF_DRAM, PRA)
 #: All named schemes, keyed by name.
 ALL_SCHEMES = {
     s.name: s
-    for s in (BASELINE, FGA, HALF_DRAM, PRA, HALF_DRAM_PRA, DBI, DBI_PRA, PRA_DM)
+    for s in (
+        BASELINE, FGA, HALF_DRAM, PRA, HALF_DRAM_PRA, DBI, DBI_PRA, PRA_DM, SDS,
+    )
 }
 
 

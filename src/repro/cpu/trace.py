@@ -19,7 +19,7 @@ from typing import Iterable, Iterator, List
 from repro.dram.geometry import FULL_MASK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One memory instruction in a core's instruction stream."""
 

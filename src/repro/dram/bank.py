@@ -11,6 +11,16 @@ A PRA activation behaves exactly like a normal activation except that
 * the column command is delayed one extra cycle (mask transfer,
   Fig. 7a), and
 * the activation energy recorded is the per-granularity value.
+
+Since the array-backed timing core (:mod:`repro.dram.soa`) the bank no
+longer stores its own state: every field is a *view* onto the flat
+per-channel :class:`~repro.dram.soa.TimingCore` arrays at the bank's
+global index, which the controller's scheduling passes read directly.
+The class keeps the full legality-checked command API
+(:meth:`activate` / :meth:`read` / :meth:`write` / :meth:`precharge`)
+for unit tests, reference models and cold paths; a bank constructed
+standalone (no owning rank/core) creates a private single-bank core so
+the state machine remains self-contained.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from typing import Optional
 
 from repro.core import mask as mask_ops
 from repro.dram.geometry import FULL_MASK
+from repro.dram.soa import TimingCore
 from repro.dram.timing import TimingParams, derived_timing
 
 
@@ -29,24 +40,17 @@ class BankStateError(RuntimeError):
 class Bank:
     """One DRAM bank (replicated across the chips of a rank).
 
-    ``__slots__``-based: banks are the most frequently touched objects
-    in the simulator's hot loop, and the per-scheme timing values the
-    state machine needs are cached as plain attributes at construction
-    (see :func:`repro.dram.timing.derived_timing`).
+    ``__slots__``-based view over a :class:`TimingCore`: the per-scheme
+    timing values the state machine needs are cached as plain attributes
+    at construction (see :func:`repro.dram.timing.derived_timing`), and
+    all mutable state lives in the core's arrays at ``self._g``.
     """
 
     __slots__ = (
         "timing",
-        "open_row",
-        "open_mask",
-        "act_ready",
-        "col_ready",
-        "pre_ready",
-        "last_act_cycle",
-        "open_row_accesses",
-        "pending_autopre",
-        "reserved_req",
-        "_rank_ref",
+        "core",
+        "_g",
+        "_ri",
         "_bit",
         "_trcd",
         "_tras",
@@ -76,36 +80,38 @@ class Bank:
         *,
         rank=None,
         bank_index: int = 0,
+        core: Optional[TimingCore] = None,
+        rank_index: int = 0,
     ) -> None:
         self.timing = timing
-        #: Owning rank (optional): lets the bank keep the rank's
-        #: ``open_bits`` bitmask exact on every activate/precharge, so
-        #: the controller's hot loop iterates only open banks.
-        self._rank_ref = rank
+        if core is None:
+            if rank is not None:
+                core = rank.core
+                rank_index = rank.rank_index
+            else:
+                # Standalone bank (unit tests / reference models): own a
+                # private core wide enough for this bank's index.
+                core = TimingCore(1, bank_index + 1)
+                rank_index = 0
+        #: Shared per-channel timing-state arrays.
+        self.core = core
+        self._ri = rank_index
+        self._g = rank_index * core.num_banks + bank_index
         self._bit = 1 << bank_index
-        if rank is not None and open_row is not None:
-            rank.open_bits |= self._bit
-        #: Currently open row, or None when precharged.
-        self.open_row = open_row
-        #: PRA mask under which the open row was activated.
-        self.open_mask = open_mask
-        #: Earliest cycle an ACT may be issued to this bank.
-        self.act_ready = act_ready
-        #: Earliest cycle a column (RD/WR) command may be issued.
-        self.col_ready = col_ready
-        #: Earliest cycle a PRE may be issued.
-        self.pre_ready = pre_ready
-        #: Cycle of the most recent activation (stats/debug).
-        self.last_act_cycle = last_act_cycle
-        #: Number of column accesses served by the open row (row-hit cap).
-        self.open_row_accesses = open_row_accesses
-        #: Set by the controller when the open row must auto-precharge
-        #: (restricted close-page policy).
-        self.pending_autopre = pending_autopre
-        #: Under restricted close-page, the request id the current
-        #: activation was issued for; only that request may use the row
-        #: (ACT + column + PRE are atomic in that policy).
-        self.reserved_req = reserved_req
+        g = self._g
+        if open_row is not None:
+            core.open_bits[rank_index] |= self._bit
+            core.open_row[g] = open_row
+        else:
+            core.open_row[g] = -1
+        core.open_mask[g] = open_mask
+        core.act_ready[g] = act_ready
+        core.col_ready[g] = col_ready
+        core.pre_ready[g] = pre_ready
+        core.last_act[g] = last_act_cycle
+        core.accesses[g] = open_row_accesses
+        core.autopre[g] = pending_autopre
+        core.reserved[g] = reserved_req
         d = derived_timing(timing)
         self._trcd = timing.trcd
         self._tras = timing.tras
@@ -119,18 +125,106 @@ class Bank:
         self._read_burst = d.read_burst
         self._write_burst = d.write_burst
 
+    # ------------------------------------------------------------------
+    # State views (arrays are authoritative; setters keep open_bits exact)
+    # ------------------------------------------------------------------
+    @property
+    def open_row(self) -> Optional[int]:
+        row = self.core.open_row[self._g]
+        return None if row < 0 else row
+
+    @open_row.setter
+    def open_row(self, value: Optional[int]) -> None:
+        core = self.core
+        if value is None:
+            core.open_row[self._g] = -1
+            core.open_bits[self._ri] &= ~self._bit
+        else:
+            core.open_row[self._g] = value
+            core.open_bits[self._ri] |= self._bit
+
+    @property
+    def open_mask(self) -> int:
+        return self.core.open_mask[self._g]
+
+    @open_mask.setter
+    def open_mask(self, value: int) -> None:
+        self.core.open_mask[self._g] = value
+
+    @property
+    def act_ready(self) -> int:
+        return self.core.act_ready[self._g]
+
+    @act_ready.setter
+    def act_ready(self, value: int) -> None:
+        self.core.act_ready[self._g] = value
+
+    @property
+    def col_ready(self) -> int:
+        return self.core.col_ready[self._g]
+
+    @col_ready.setter
+    def col_ready(self, value: int) -> None:
+        self.core.col_ready[self._g] = value
+
+    @property
+    def pre_ready(self) -> int:
+        return self.core.pre_ready[self._g]
+
+    @pre_ready.setter
+    def pre_ready(self, value: int) -> None:
+        self.core.pre_ready[self._g] = value
+
+    @property
+    def last_act_cycle(self) -> int:
+        return self.core.last_act[self._g]
+
+    @last_act_cycle.setter
+    def last_act_cycle(self, value: int) -> None:
+        self.core.last_act[self._g] = value
+
+    @property
+    def open_row_accesses(self) -> int:
+        return self.core.accesses[self._g]
+
+    @open_row_accesses.setter
+    def open_row_accesses(self, value: int) -> None:
+        self.core.accesses[self._g] = value
+
+    @property
+    def pending_autopre(self) -> bool:
+        return self.core.autopre[self._g]
+
+    @pending_autopre.setter
+    def pending_autopre(self, value: bool) -> None:
+        self.core.autopre[self._g] = value
+
+    @property
+    def reserved_req(self) -> Optional[int]:
+        return self.core.reserved[self._g]
+
+    @reserved_req.setter
+    def reserved_req(self, value: Optional[int]) -> None:
+        self.core.reserved[self._g] = value
+
     @property
     def is_open(self) -> bool:
-        return self.open_row is not None
+        return self.core.open_row[self._g] >= 0
 
+    # ------------------------------------------------------------------
+    # Legality queries
+    # ------------------------------------------------------------------
     def can_activate(self, cycle: int) -> bool:
-        return self.open_row is None and cycle >= self.act_ready
+        core, g = self.core, self._g
+        return core.open_row[g] < 0 and cycle >= core.act_ready[g]
 
     def can_column(self, cycle: int) -> bool:
-        return self.open_row is not None and cycle >= self.col_ready
+        core, g = self.core, self._g
+        return core.open_row[g] >= 0 and cycle >= core.col_ready[g]
 
     def can_precharge(self, cycle: int) -> bool:
-        return self.open_row is not None and cycle >= self.pre_ready
+        core, g = self.core, self._g
+        return core.open_row[g] >= 0 and cycle >= core.pre_ready[g]
 
     def hit_kind(self, row: int, needed_mask: int) -> str:
         """Classify an access against the bank's current row state.
@@ -143,14 +237,19 @@ class Bank:
         * ``"miss"``   — a different row is open (row conflict),
         * ``"closed"`` — bank precharged.
         """
-        if self.open_row is None:
+        core, g = self.core, self._g
+        open_row = core.open_row[g]
+        if open_row < 0:
             return "closed"
-        if self.open_row != row:
+        if open_row != row:
             return "miss"
-        if mask_ops.covers(self.open_mask, needed_mask):
+        if mask_ops.covers(core.open_mask[g], needed_mask):
             return "hit"
         return "false"
 
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
     def activate(
         self,
         cycle: int,
@@ -165,27 +264,27 @@ class Bank:
         the mask is partial (address-bus delivery, Fig. 7a).  The
         DM-pin delivery alternative passes ``False``.
         """
-        if not self.can_activate(cycle):
+        core, g = self.core, self._g
+        if not (core.open_row[g] < 0 and cycle >= core.act_ready[g]):
             raise BankStateError(
                 f"ACT at {cycle} illegal (open_row={self.open_row}, "
-                f"act_ready={self.act_ready})"
+                f"act_ready={core.act_ready[g]})"
             )
         if not 0 < mask <= FULL_MASK:
             raise BankStateError(f"activation mask out of range: {mask:#x}")
         if mask_transfer_cycle is None:
             mask_transfer_cycle = mask != FULL_MASK
         extra = self._pra_extra if mask_transfer_cycle else 0
-        if self._rank_ref is not None:
-            self._rank_ref.open_bits |= self._bit
-        self.open_row = row
-        self.open_mask = mask
-        self.col_ready = cycle + self._trcd + extra
+        core.open_bits[self._ri] |= self._bit
+        core.open_row[g] = row
+        core.open_mask[g] = mask
+        core.col_ready[g] = cycle + self._trcd + extra
         pre = cycle + self._tras
-        if pre > self.pre_ready:
-            self.pre_ready = pre
-        self.act_ready = cycle + self._trc
-        self.last_act_cycle = cycle
-        self.open_row_accesses = 0
+        if pre > core.pre_ready[g]:
+            core.pre_ready[g] = pre
+        core.act_ready[g] = cycle + self._trc
+        core.last_act[g] = cycle
+        core.accesses[g] = 0
 
     def widen(self, cycle: int, extra_mask: int) -> None:
         """OR additional groups into the open mask.
@@ -194,60 +293,71 @@ class Bank:
         the row first); provided for scheme ablations that model an
         incremental-activation variant.
         """
-        if self.open_row is None:
+        core, g = self.core, self._g
+        if core.open_row[g] < 0:
             raise BankStateError("cannot widen a precharged bank")
-        self.open_mask = mask_ops.merge(self.open_mask, extra_mask)
-        self.col_ready = max(self.col_ready, cycle + self.timing.trcd)
+        core.open_mask[g] = mask_ops.merge(core.open_mask[g], extra_mask)
+        col = cycle + self._trcd
+        if col > core.col_ready[g]:
+            core.col_ready[g] = col
 
     def read(self, cycle: int) -> int:
         """Issue a column read; returns the cycle the data burst ends."""
-        if not self.can_column(cycle):
-            raise BankStateError(f"READ at {cycle} illegal (col_ready={self.col_ready})")
+        core, g = self.core, self._g
+        if not (core.open_row[g] >= 0 and cycle >= core.col_ready[g]):
+            raise BankStateError(
+                f"READ at {cycle} illegal (col_ready={core.col_ready[g]})"
+            )
         burst_end = cycle + self._read_burst
         col = cycle + self._tccd
-        if col > self.col_ready:
-            self.col_ready = col
+        if col > core.col_ready[g]:
+            core.col_ready[g] = col
         pre = cycle + self._trtp
-        if pre > self.pre_ready:
-            self.pre_ready = pre
-        self.open_row_accesses += 1
+        if pre > core.pre_ready[g]:
+            core.pre_ready[g] = pre
+        core.accesses[g] += 1
         return burst_end
 
     def write(self, cycle: int) -> int:
         """Issue a column write; returns the cycle the data burst ends."""
-        if not self.can_column(cycle):
-            raise BankStateError(f"WRITE at {cycle} illegal (col_ready={self.col_ready})")
+        core, g = self.core, self._g
+        if not (core.open_row[g] >= 0 and cycle >= core.col_ready[g]):
+            raise BankStateError(
+                f"WRITE at {cycle} illegal (col_ready={core.col_ready[g]})"
+            )
         burst_end = cycle + self._write_burst
         col = cycle + self._tccd
-        if col > self.col_ready:
-            self.col_ready = col
+        if col > core.col_ready[g]:
+            core.col_ready[g] = col
         pre = burst_end + self._twr
-        if pre > self.pre_ready:
-            self.pre_ready = pre
-        self.open_row_accesses += 1
+        if pre > core.pre_ready[g]:
+            core.pre_ready[g] = pre
+        core.accesses[g] += 1
         return burst_end
 
     def precharge(self, cycle: int) -> None:
         """Close the open row; the next ACT waits tRP."""
-        if not self.can_precharge(cycle):
+        core, g = self.core, self._g
+        if not (core.open_row[g] >= 0 and cycle >= core.pre_ready[g]):
             raise BankStateError(
-                f"PRE at {cycle} illegal (open={self.open_row}, pre_ready={self.pre_ready})"
+                f"PRE at {cycle} illegal (open={self.open_row}, "
+                f"pre_ready={core.pre_ready[g]})"
             )
-        if self._rank_ref is not None:
-            self._rank_ref.open_bits &= ~self._bit
-        self.open_row = None
-        self.open_mask = FULL_MASK
+        core.open_bits[self._ri] &= ~self._bit
+        core.open_row[g] = -1
+        core.open_mask[g] = FULL_MASK
         act = cycle + self._trp
-        if act > self.act_ready:
-            self.act_ready = act
+        if act > core.act_ready[g]:
+            core.act_ready[g] = act
 
     def block_for_refresh(self, cycle: int) -> None:
         """Push out the next ACT to after a refresh that starts now."""
-        if self.open_row is not None:
+        core, g = self.core, self._g
+        if core.open_row[g] >= 0:
             raise BankStateError("refresh requires all banks precharged")
         act = cycle + self._trfc
-        if act > self.act_ready:
-            self.act_ready = act
+        if act > core.act_ready[g]:
+            core.act_ready[g] = act
 
 
 class ActivationWindow:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.dram.rank import Rank
+from repro.dram.soa import TimingCore
 from repro.dram.timing import TimingParams
 
 
@@ -32,8 +33,13 @@ class Channel:
         burst_cycles_multiplier: int = 1,
     ) -> None:
         self.timing = timing
+        #: Flat per-(rank, bank) timing-state arrays shared by every
+        #: rank/bank of this channel; the controller's scheduling loops
+        #: index them directly (the objects below are views).
+        self.core = TimingCore(num_ranks, num_banks)
         self.ranks: List[Rank] = [
-            Rank(timing, num_banks, relax_act_constraints) for _ in range(num_ranks)
+            Rank(timing, num_banks, relax_act_constraints, core=self.core, rank_index=r)
+            for r in range(num_ranks)
         ]
         #: Data-bus multiplier: 1 for full-width schemes, 2 for FGA
         #: (half-width transfer doubles burst occupancy).

@@ -95,6 +95,7 @@ class Request:
         "_missed",
         "_false",
         "_needed",
+        "_rowkey",
     )
 
     def __init__(
@@ -133,6 +134,10 @@ class Request:
         #: MAT-group coverage the request needs from an open row; set by
         #: the admitting controller (scheme-dependent for writes).
         self._needed = FULL_MASK
+        #: Packed (rank, bank, row) identity within the channel; the
+        #: controller's row index hashes this single int instead of a
+        #: tuple on every queue/bucket probe (see controller.queues).
+        self._rowkey = (addr.rank << 40) | (addr.bank << 32) | addr.row
 
     def __repr__(self) -> str:
         return (

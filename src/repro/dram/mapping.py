@@ -60,43 +60,42 @@ class AddressMapper:
         object.__setattr__(self, "_ba_bits", _bits(geo.chip.banks))
         object.__setattr__(self, "_co_bits", _bits(geo.lines_per_row))
         object.__setattr__(self, "_ro_bits", _bits(geo.chip.rows))
+        # decode_line runs once per DRAM request; cache every divisor as
+        # a plain attribute so the hot path does no property calls and
+        # no nested geometry lookups.
+        object.__setattr__(self, "_channels", geo.channels)
+        object.__setattr__(self, "_ranks", geo.ranks_per_channel)
+        object.__setattr__(self, "_banks", geo.chip.banks)
+        object.__setattr__(self, "_rows", geo.chip.rows)
+        object.__setattr__(self, "_cols", geo.lines_per_row)
+        object.__setattr__(self, "_capacity", geo.capacity_bytes // LINE_BYTES)
 
     @property
     def line_capacity(self) -> int:
         """Total number of cache lines the system can hold."""
-        return self.geometry.capacity_bytes // LINE_BYTES
+        return self._capacity
 
     def decode_line(self, line_index: int) -> Address:
         """Decode a cache-line index into DRAM coordinates."""
         if line_index < 0:
             raise ValueError("line index must be non-negative")
-        line_index %= self.line_capacity
-        geo = self.geometry
-        v = line_index
+        v = line_index % self._capacity
         if self.interleaving is Interleaving.ROW:
             # offset | column | channel | bank | rank | row
-            column = v % geo.lines_per_row
-            v //= geo.lines_per_row
-            channel = v % geo.channels
-            v //= geo.channels
-            bank = v % geo.chip.banks
-            v //= geo.chip.banks
-            rank = v % geo.ranks_per_channel
-            v //= geo.ranks_per_channel
-            row = v % geo.chip.rows
+            v, column = divmod(v, self._cols)
+            v, channel = divmod(v, self._channels)
+            v, bank = divmod(v, self._banks)
+            v, rank = divmod(v, self._ranks)
+            row = v % self._rows
         else:
             # offset | channel | bank | rank | column | row
-            channel = v % geo.channels
-            v //= geo.channels
-            bank = v % geo.chip.banks
-            v //= geo.chip.banks
-            rank = v % geo.ranks_per_channel
-            v //= geo.ranks_per_channel
-            column = v % geo.lines_per_row
-            v //= geo.lines_per_row
-            row = v % geo.chip.rows
+            v, channel = divmod(v, self._channels)
+            v, bank = divmod(v, self._banks)
+            v, rank = divmod(v, self._ranks)
+            v, column = divmod(v, self._cols)
+            row = v % self._rows
         if self.xor_bank_hash:
-            bank ^= row % geo.chip.banks
+            bank ^= row % self._banks
         return Address(channel=channel, rank=rank, bank=bank, row=row, column=column)
 
     def decode(self, byte_addr: int) -> Address:

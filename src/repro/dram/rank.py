@@ -12,14 +12,23 @@ the constraints that span banks:
 
 The rank also integrates background-state residency (active standby /
 precharge standby / precharge power-down) for the power model.
+
+Inter-bank timing state (``next_act_ok`` / ``next_col_ok`` /
+``next_read_ok`` / ``next_write_ok``, the open-bank bitmask and the
+command gate) lives in the channel's shared
+:class:`~repro.dram.soa.TimingCore` arrays at ``rank_index`` — the
+attributes here are views, so the controller's flat-array hot loops and
+this object API always agree.  Refresh/power-down bookkeeping and the
+tFAW window stay plain attributes: they are touched only on cold paths.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.dram.bank import ActivationWindow, Bank, BankStateError
+from repro.dram.soa import TimingCore
 from repro.dram.timing import TimingParams
 
 
@@ -29,18 +38,14 @@ class Rank:
     __slots__ = (
         "timing",
         "banks",
-        "open_bits",
+        "core",
+        "rank_index",
         "faw",
         "relax_act_constraints",
-        "next_act_ok",
-        "next_col_ok",
-        "next_read_ok",
-        "next_write_ok",
         "powered_down",
         "pd_exit_ready",
         "next_refresh",
         "refresh_until",
-        "_gate",
         "_bg_last_cycle",
         "bg_residency",
         "_trrd",
@@ -56,27 +61,24 @@ class Rank:
         timing: TimingParams,
         num_banks: int = 8,
         relax_act_constraints: bool = False,
+        *,
+        core: Optional[TimingCore] = None,
+        rank_index: int = 0,
     ) -> None:
         self.timing = timing
-        #: Bitmask of banks with an open row, maintained by the banks
-        #: themselves on every activate/precharge (exact by
-        #: construction: ACT requires closed, PRE requires open).
-        self.open_bits: int = 0
+        if core is None:
+            # Standalone rank (unit tests): own a private core.
+            core = TimingCore(rank_index + 1, num_banks)
+        #: Shared per-channel timing-state arrays.
+        self.core = core
+        self.rank_index = rank_index
         self.banks: List[Bank] = [
-            Bank(timing, rank=self, bank_index=i) for i in range(num_banks)
+            Bank(timing, core=core, rank_index=rank_index, bank_index=i)
+            for i in range(num_banks)
         ]
         self.faw = ActivationWindow(tfaw=timing.tfaw)
         #: Whether partial/half activations relax tRRD and tFAW.
         self.relax_act_constraints = relax_act_constraints
-        #: Earliest cycle the next ACT (any bank) may issue (tRRD).
-        self.next_act_ok: int = 0
-        #: Earliest cycle the next column command (any bank) may issue.
-        self.next_col_ok: int = 0
-        #: Earliest cycle a READ may issue (write-to-read turnaround).
-        self.next_read_ok: int = 0
-        #: Earliest cycle a WRITE may issue (DM-pin mask delivery holds
-        #: the chip write buffers until the activation completes).
-        self.next_write_ok: int = 0
         #: True while the rank sits in precharge power-down.
         self.powered_down: bool = False
         #: Earliest cycle a command may issue after power-down exit.
@@ -85,10 +87,6 @@ class Rank:
         self.next_refresh: int = timing.trefi
         #: Cycle until which an in-flight refresh blocks the rank.
         self.refresh_until: int = 0
-        #: Cached max(pd_exit_ready, refresh_until); kept in sync by the
-        #: two mutators so ``command_gate`` is a single comparison on
-        #: the hot path instead of a recomputed max every probe.
-        self._gate: int = 0
         # Background residency integration.
         self._bg_last_cycle: int = 0
         self.bg_residency: Dict[str, int] = {
@@ -104,10 +102,70 @@ class Rank:
         self._trfc = timing.trfc
 
     # ------------------------------------------------------------------
+    # Array-backed state views
+    # ------------------------------------------------------------------
+    @property
+    def open_bits(self) -> int:
+        """Bitmask of banks with an open row (exact by construction)."""
+        return self.core.open_bits[self.rank_index]
+
+    @open_bits.setter
+    def open_bits(self, value: int) -> None:
+        self.core.open_bits[self.rank_index] = value
+
+    @property
+    def next_act_ok(self) -> int:
+        """Earliest cycle the next ACT (any bank) may issue (tRRD)."""
+        return self.core.next_act_ok[self.rank_index]
+
+    @next_act_ok.setter
+    def next_act_ok(self, value: int) -> None:
+        self.core.next_act_ok[self.rank_index] = value
+
+    @property
+    def next_col_ok(self) -> int:
+        """Earliest cycle the next column command (any bank) may issue."""
+        return self.core.next_col_ok[self.rank_index]
+
+    @next_col_ok.setter
+    def next_col_ok(self, value: int) -> None:
+        self.core.next_col_ok[self.rank_index] = value
+
+    @property
+    def next_read_ok(self) -> int:
+        """Earliest cycle a READ may issue (write-to-read turnaround)."""
+        return self.core.next_read_ok[self.rank_index]
+
+    @next_read_ok.setter
+    def next_read_ok(self, value: int) -> None:
+        self.core.next_read_ok[self.rank_index] = value
+
+    @property
+    def next_write_ok(self) -> int:
+        """Earliest cycle a WRITE may issue (DM-pin mask delivery holds
+        the chip write buffers until the activation completes)."""
+        return self.core.next_write_ok[self.rank_index]
+
+    @next_write_ok.setter
+    def next_write_ok(self, value: int) -> None:
+        self.core.next_write_ok[self.rank_index] = value
+
+    @property
+    def _gate(self) -> int:
+        """Cached max(pd_exit_ready, refresh_until); kept in sync by the
+        two mutators so ``command_gate`` is a single comparison on the
+        hot path instead of a recomputed max every probe."""
+        return self.core.gate[self.rank_index]
+
+    @_gate.setter
+    def _gate(self, value: int) -> None:
+        self.core.gate[self.rank_index] = value
+
+    # ------------------------------------------------------------------
     # Background state accounting
     # ------------------------------------------------------------------
     def _bg_state(self) -> str:
-        if self.open_bits:
+        if self.core.open_bits[self.rank_index]:
             return "act_stby"
         if self.powered_down:
             return "pre_pdn"
@@ -129,7 +187,7 @@ class Rank:
     # ------------------------------------------------------------------
     @property
     def all_precharged(self) -> bool:
-        return not self.open_bits
+        return not self.core.open_bits[self.rank_index]
 
     def enter_power_down(self, cycle: int) -> None:
         """Enter precharge power-down (all banks must be closed)."""
@@ -145,13 +203,14 @@ class Rank:
             self.accrue_background(cycle)
             self.powered_down = False
             self.pd_exit_ready = cycle + self._txp
-            if self.pd_exit_ready > self._gate:
-                self._gate = self.pd_exit_ready
+            ri = self.rank_index
+            if self.pd_exit_ready > self.core.gate[ri]:
+                self.core.gate[ri] = self.pd_exit_ready
         return self.pd_exit_ready
 
     def command_gate(self, cycle: int) -> int:
         """Earliest cycle any command may issue (PD exit / refresh)."""
-        gate = self._gate
+        gate = self.core.gate[self.rank_index]
         return gate if gate > cycle else cycle
 
     # ------------------------------------------------------------------
@@ -168,7 +227,7 @@ class Rank:
             return False
         weight = self._act_weight(granularity_eighths)
         return (
-            cycle >= self.next_act_ok
+            cycle >= self.core.next_act_ok[self.rank_index]
             and self.banks[bank].can_activate(cycle)
             and self.faw.can_activate(cycle, weight)
         )
@@ -176,14 +235,16 @@ class Rank:
     def earliest_activate(self, cycle: int, bank: int, granularity_eighths: int = 8) -> int:
         """Lower bound on the cycle the ACT could issue (for skip-ahead)."""
         weight = self._act_weight(granularity_eighths)
+        core = self.core
+        ri = self.rank_index
         t = cycle
-        if self.next_act_ok > t:
-            t = self.next_act_ok
-        act_ready = self.banks[bank].act_ready
+        if core.next_act_ok[ri] > t:
+            t = core.next_act_ok[ri]
+        act_ready = core.act_ready[ri * core.num_banks + bank]
         if act_ready > t:
             t = act_ready
-        if self._gate > t:
-            t = self._gate
+        if core.gate[ri] > t:
+            t = core.gate[ri]
         faw_t = self.faw.next_allowed(t, weight)
         return faw_t if faw_t > t else t
 
@@ -193,7 +254,7 @@ class Rank:
         trrd = self._trrd
         if self.relax_act_constraints:
             trrd = max(2, math.ceil(trrd * weight))
-        self.next_act_ok = cycle + trrd
+        self.core.next_act_ok[self.rank_index] = cycle + trrd
         self.faw.record(cycle, weight)
 
     # ------------------------------------------------------------------
@@ -201,65 +262,76 @@ class Rank:
     # ------------------------------------------------------------------
     def can_read(self, cycle: int, bank: int) -> bool:
         """True when a column READ to the bank is legal now."""
+        ri = self.rank_index
         return (
             not self.powered_down
             and cycle >= self.command_gate(cycle)
-            and cycle >= self.next_col_ok
-            and cycle >= self.next_read_ok
+            and cycle >= self.core.next_col_ok[ri]
+            and cycle >= self.core.next_read_ok[ri]
             and self.banks[bank].can_column(cycle)
         )
 
     def can_write(self, cycle: int, bank: int) -> bool:
         """True when a column WRITE to the bank is legal now."""
+        ri = self.rank_index
         return (
             not self.powered_down
             and cycle >= self.command_gate(cycle)
-            and cycle >= self.next_col_ok
-            and cycle >= self.next_write_ok
+            and cycle >= self.core.next_col_ok[ri]
+            and cycle >= self.core.next_write_ok[ri]
             and self.banks[bank].can_column(cycle)
         )
 
     def earliest_read(self, cycle: int, bank: int) -> int:
         """Lower bound on the next legal READ cycle (skip-ahead hint)."""
+        core = self.core
+        ri = self.rank_index
         t = cycle
-        if self.next_col_ok > t:
-            t = self.next_col_ok
-        if self.next_read_ok > t:
-            t = self.next_read_ok
-        col_ready = self.banks[bank].col_ready
+        if core.next_col_ok[ri] > t:
+            t = core.next_col_ok[ri]
+        if core.next_read_ok[ri] > t:
+            t = core.next_read_ok[ri]
+        col_ready = core.col_ready[ri * core.num_banks + bank]
         if col_ready > t:
             t = col_ready
-        if self._gate > t:
-            t = self._gate
+        if core.gate[ri] > t:
+            t = core.gate[ri]
         return t
 
     def earliest_write(self, cycle: int, bank: int) -> int:
         """Lower bound on the next legal WRITE cycle (skip-ahead hint)."""
+        core = self.core
+        ri = self.rank_index
         t = cycle
-        if self.next_col_ok > t:
-            t = self.next_col_ok
-        if self.next_write_ok > t:
-            t = self.next_write_ok
-        col_ready = self.banks[bank].col_ready
+        if core.next_col_ok[ri] > t:
+            t = core.next_col_ok[ri]
+        if core.next_write_ok[ri] > t:
+            t = core.next_write_ok[ri]
+        col_ready = core.col_ready[ri * core.num_banks + bank]
         if col_ready > t:
             t = col_ready
-        if self._gate > t:
-            t = self._gate
+        if core.gate[ri] > t:
+            t = core.gate[ri]
         return t
 
     def record_read(self, cycle: int) -> None:
-        self.next_col_ok = cycle + self._tccd
+        self.core.next_col_ok[self.rank_index] = cycle + self._tccd
 
     def record_write(self, cycle: int, burst_end: int) -> None:
         """Update tCCD and the write-to-read turnaround after a WRITE."""
-        self.next_col_ok = cycle + self._tccd
+        core = self.core
+        ri = self.rank_index
+        core.next_col_ok[ri] = cycle + self._tccd
         read_ok = burst_end + self._twtr
-        if read_ok > self.next_read_ok:
-            self.next_read_ok = read_ok
+        if read_ok > core.next_read_ok[ri]:
+            core.next_read_ok[ri] = read_ok
 
     def hold_write_buffer(self, until_cycle: int) -> None:
         """Block further writes until ``until_cycle`` (DM-pin delivery)."""
-        self.next_write_ok = max(self.next_write_ok, until_cycle)
+        core = self.core
+        ri = self.rank_index
+        if until_cycle > core.next_write_ok[ri]:
+            core.next_write_ok[ri] = until_cycle
 
     # ------------------------------------------------------------------
     # Refresh
@@ -275,8 +347,9 @@ class Rank:
         for bank in self.banks:
             bank.block_for_refresh(cycle)
         self.refresh_until = cycle + self._trfc
-        if self.refresh_until > self._gate:
-            self._gate = self.refresh_until
+        ri = self.rank_index
+        if self.refresh_until > self.core.gate[ri]:
+            self.core.gate[ri] = self.refresh_until
         self.next_refresh += self._trefi
         # Bound catch-up after long idle skips: DDR3 allows deferring at
         # most 8 refreshes, so don't bunch more than that.

@@ -102,6 +102,12 @@ class DerivedTiming(NamedTuple):
     act_to_data: int
     #: ACT-to-column delay of a masked (PRA) activation.
     trcd_masked: int
+    #: Minimum spacing of back-to-back same-rank column commands whose
+    #: bursts must not overlap: max(tCCD, tBURST).  Burst-streak
+    #: scheduling multiplies the tBURST term by the scheme's data-bus
+    #: multiplier (2 under FGA), so streak command *i* issues exactly at
+    #: ``t0 + i * max(col_spacing, tburst * multiplier)``.
+    col_spacing: int
 
 
 @lru_cache(maxsize=None)
@@ -112,6 +118,7 @@ def derived_timing(timing: TimingParams) -> DerivedTiming:
         write_burst=timing.tcwl + timing.tburst,
         act_to_data=timing.trcd + timing.tcas,
         trcd_masked=timing.trcd + timing.pra_extra,
+        col_spacing=max(timing.tccd, timing.tburst),
     )
 
 

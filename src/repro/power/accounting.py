@@ -102,6 +102,12 @@ class PowerAccountant:
         self.read_bursts = 0
         self.write_bursts = 0
         self.refreshes = 0
+        #: fraction -> (granularity bucket, energy in pJ).  Activation
+        #: energy is a pure function of the fraction, and a run sees
+        #: only a handful of distinct fractions (9 mask popcounts under
+        #: PRA), so memoizing it keeps the per-ACT cost to a dict probe
+        #: while adding bit-identical energy values.
+        self._act_cache: Dict[float, tuple] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -125,48 +131,67 @@ class PowerAccountant:
         Used by Half-DRAM (0.5) and Half-DRAM + PRA (g/16); the
         granularity histogram buckets by the nearest eighth (min 1).
         """
-        bucket = min(8, max(1, round(fraction * 8)))
-        self.activations_by_granularity[bucket] += 1
-        power = self.params.act_power_fraction(fraction)
-        energy = power * self.timing.row_cycle_ns * self.chips_per_rank
-        if self.ecc_chips:
-            energy += (
-                self.params.act_power(8) * self.timing.row_cycle_ns * self.ecc_chips
-            )
-        self.energy_pj["act_pre"] += energy
+        cached = self._act_cache.get(fraction)
+        if cached is None:
+            bucket = min(8, max(1, round(fraction * 8)))
+            power = self.params.act_power_fraction(fraction)
+            energy = power * self.timing.row_cycle_ns * self.chips_per_rank
+            if self.ecc_chips:
+                energy += (
+                    self.params.act_power(8) * self.timing.row_cycle_ns * self.ecc_chips
+                )
+            cached = (bucket, energy)
+            self._act_cache[fraction] = cached
+        self.activations_by_granularity[cached[0]] += 1
+        self.energy_pj["act_pre"] += cached[1]
 
-    def on_read_burst(self, other_ranks: int = 1) -> None:
-        """One cache-line read burst from a rank."""
-        self.read_bursts += 1
+    def on_read_burst(self, other_ranks: int = 1, count: int = 1) -> None:
+        """``count`` cache-line read bursts from a rank.
+
+        The batched form exists for burst-streak commits: all bursts of
+        a streak share ``other_ranks``, so their energy is ``count``
+        times one burst's.  ``count=1`` is bitwise-identical to the
+        historical single-burst call (``x * 1`` is exact in floats).
+        """
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        self.read_bursts += count
         chips = self.chips_per_rank + self.ecc_chips
         burst = self._burst_ns
-        self.energy_pj["rd"] += self.params.rd_mw * burst * chips
+        self.energy_pj["rd"] += self.params.rd_mw * burst * chips * count
         io = self.params.rd_io_mw * burst * chips
         io += self.params.rd_term_mw * burst * chips * other_ranks
-        self.energy_pj["rd_io"] += io * self.params.io_scale
+        self.energy_pj["rd_io"] += io * self.params.io_scale * count
 
-    def on_write_burst(self, driven_fraction: float = 1.0, other_ranks: int = 1) -> None:
-        """One cache-line write burst to a rank.
+    def on_write_burst(
+        self, driven_fraction: float = 1.0, other_ranks: int = 1, count: int = 1
+    ) -> None:
+        """``count`` cache-line write bursts to a rank.
 
         ``driven_fraction`` is the share of bytes actually driven on
         the bus: under PRA only the dirty words are transferred, so
         ODT/termination (and optionally core write) energy scale down.
+        Batched calls (streak commits group writes by driven fraction)
+        charge ``count`` times one burst's energy; ``count=1`` matches
+        the historical single-burst call bit for bit.
         """
         if not 0.0 < driven_fraction <= 1.0:
             raise ValueError(f"driven_fraction must be in (0, 1], got {driven_fraction}")
-        self.write_bursts += 1
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        self.write_bursts += count
         chips = self.chips_per_rank
         ecc = self.ecc_chips
         burst = self._burst_ns
         core_fraction = driven_fraction if self.scale_wr_core_with_mask else 1.0
         self.energy_pj["wr"] += self.params.wr_mw * burst * (
             chips * core_fraction + ecc
-        )
+        ) * count
         io = self.params.wr_odt_mw * burst * (chips * driven_fraction + ecc)
         io += self.params.wr_term_mw * burst * other_ranks * (
             chips * driven_fraction + ecc
         )
-        self.energy_pj["wr_io"] += io * self.params.io_scale
+        self.energy_pj["wr_io"] += io * self.params.io_scale * count
 
     def on_refresh(self) -> None:
         """One all-bank refresh of a rank (duration tRFC)."""

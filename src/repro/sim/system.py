@@ -12,7 +12,8 @@ Flow of one memory instruction:
    (fills) and dirty LLC victims produce DRAM writes carrying their
    FGD masks,
 3. the address mapper routes each request to a channel controller,
-4. the controller schedules DRAM commands (FR-FCFS, PRA, refresh...),
+4. the controller schedules DRAM commands (FR-FCFS with burst-streak
+   commits over the array-backed timing core, PRA masking, refresh...),
 5. completed demand fills unblock the issuing core.
 """
 

@@ -56,9 +56,38 @@ class LatencyHistogram:
         self.total += value
         self._counts[self._bucket(value)] += 1
 
+    def record_many(self, values: Iterable[int]) -> None:
+        """Add a batch of non-negative samples.
+
+        Equivalent to calling :meth:`record` on each value, but the
+        min/max/total updates are computed once per batch: the burst
+        streak commit in the controller records a whole streak's
+        latencies through this path.  Validation happens before any
+        state is touched, so a bad batch leaves the histogram unchanged.
+        """
+        vals = values if isinstance(values, list) else list(values)
+        if not vals:
+            return
+        lo = min(vals)
+        if lo < 0:
+            raise ValueError("latency samples must be non-negative")
+        hi = max(vals)
+        if self.samples == 0:
+            self.min_value, self.max_value = lo, hi
+        else:
+            if lo < self.min_value:
+                self.min_value = lo
+            if hi > self.max_value:
+                self.max_value = hi
+        self.samples += len(vals)
+        self.total += sum(vals)
+        counts = self._counts
+        bucket = self._bucket
+        for value in vals:
+            counts[bucket(value)] += 1
+
     def extend(self, values: Iterable[int]) -> None:
-        for value in values:
-            self.record(value)
+        self.record_many(values)
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Absorb another histogram of identical shape."""

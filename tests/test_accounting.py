@@ -86,6 +86,43 @@ class TestBurstEnergy:
             acct.on_write_burst(1.5)
 
 
+class TestBatchedBursts:
+    """count=N calls (burst-streak commits) against N single calls."""
+
+    def test_read_count_matches_n_single_calls(self, acct):
+        loop = PowerAccountant(P, T, chips_per_rank=CHIPS)
+        for _ in range(7):
+            loop.on_read_burst(other_ranks=1)
+        acct.on_read_burst(other_ranks=1, count=7)
+        assert acct.read_bursts == loop.read_bursts == 7
+        assert acct.energy_pj["rd"] == pytest.approx(loop.energy_pj["rd"])
+        assert acct.energy_pj["rd_io"] == pytest.approx(loop.energy_pj["rd_io"])
+
+    def test_write_count_matches_n_single_calls(self, acct):
+        loop = PowerAccountant(P, T, chips_per_rank=CHIPS)
+        for _ in range(5):
+            loop.on_write_burst(driven_fraction=0.375, other_ranks=1)
+        acct.on_write_burst(driven_fraction=0.375, other_ranks=1, count=5)
+        assert acct.write_bursts == loop.write_bursts == 5
+        assert acct.energy_pj["wr"] == pytest.approx(loop.energy_pj["wr"])
+        assert acct.energy_pj["wr_io"] == pytest.approx(loop.energy_pj["wr_io"])
+
+    def test_count_one_is_bitwise_identical(self, acct):
+        """x * 1 is exact in IEEE floats: not approx, equality."""
+        single = PowerAccountant(P, T, chips_per_rank=CHIPS)
+        single.on_read_burst(other_ranks=1)
+        single.on_write_burst(driven_fraction=0.5, other_ranks=1)
+        acct.on_read_burst(other_ranks=1, count=1)
+        acct.on_write_burst(driven_fraction=0.5, other_ranks=1, count=1)
+        assert acct.energy_pj == single.energy_pj
+
+    def test_count_validation(self, acct):
+        with pytest.raises(ValueError):
+            acct.on_read_burst(count=0)
+        with pytest.raises(ValueError):
+            acct.on_write_burst(count=-3)
+
+
 class TestBackgroundAndRefresh:
     def test_background_by_state(self, acct):
         acct.add_background({"act_stby": 100, "pre_stby": 50, "pre_pdn": 10})

@@ -15,6 +15,7 @@ from repro.controller.policies import RowPolicy
 from repro.core.schemes import BASELINE, FGA, HALF_DRAM, HALF_DRAM_PRA, PRA
 from repro.dram.channel import Channel
 from repro.dram.commands import Address, ReqKind, Request
+from repro.dram.protocol import ProtocolChecker
 from repro.dram.timing import DDR3_1600
 from repro.power.accounting import PowerAccountant
 from repro.power.params import DDR3_1600_POWER
@@ -127,3 +128,87 @@ def test_pra_activation_granularity_covers_masks(specs):
     # Writes were all served despite partial activations: the service
     # loop itself is the oracle (a non-covering activation would strand
     # the request as an endless false hit and trip the guard).
+
+
+# High-locality streams: a tiny rank x bank x row space with bursty
+# arrivals piles mask-compatible column hits onto open rows, which is
+# exactly what makes the scheduler commit multi-command burst streaks.
+streak_specs = st.lists(
+    st.tuples(
+        st.booleans(),                           # is_write
+        st.integers(min_value=0, max_value=1),   # rank
+        st.integers(min_value=0, max_value=1),   # bank
+        st.integers(min_value=0, max_value=1),   # row
+        st.integers(min_value=0, max_value=15),  # column
+        st.integers(min_value=1, max_value=255),  # dirty mask
+        st.integers(min_value=0, max_value=2),   # arrival stride
+    ),
+    min_size=8,
+    max_size=60,
+)
+
+streak_schemes = st.sampled_from([BASELINE, PRA, HALF_DRAM_PRA])
+
+
+@given(streak_specs, streak_schemes, policies)
+@settings(max_examples=60, deadline=None)
+def test_streak_schedules_obey_protocol(specs, scheme, policy):
+    """Burst-streak commits never violate DDR3 rules or PRA masking.
+
+    The :class:`ProtocolChecker` shadows every command the controller
+    claims to issue and raises on any tCCD/tRTRS/tRRD/tFAW spacing
+    breach, command-bus conflict, or a column command whose needed mask
+    is not covered by the open activation — so a clean drain of a
+    streak-heavy stream is the whole assertion.
+    """
+    ctrl, acct = build_controller(scheme, policy)
+    ctrl.protocol_checker = ProtocolChecker(
+        T, relax_act_constraints=scheme.relax_act_constraints
+    )
+    cycle = 0
+    for is_write, rank, bank, row, col, mask, stride in specs:
+        cycle += stride
+        ctrl.submit(Request(
+            kind=ReqKind.WRITE if is_write else ReqKind.READ,
+            addr=Address(channel=0, rank=rank, bank=bank, row=row, column=col),
+            arrive_cycle=cycle,
+            dirty_mask=mask,
+        ))
+    guard = 0
+    while ctrl.pending and guard < 400_000:
+        issued, hint = ctrl.step(cycle)
+        cycle = cycle + 1 if issued else max(hint, cycle + 1)
+        guard += 1
+    assert not ctrl.pending, f"deadlock with {scheme.name}/{policy.value}"
+    assert ctrl.protocol_checker.commands_checked > 0
+    stats = ctrl.stats
+    # Streak accounting: each committed streak covers >= 2 column
+    # commands, and no streak can serve more than the queue could hold.
+    assert stats.streak_commands >= 2 * stats.streaks
+    assert stats.streak_commands <= stats.reads.served + stats.writes.served
+
+
+def test_same_row_read_run_commits_a_streak():
+    """A stack of same-row reads must go out as one multi-command streak."""
+    ctrl, acct = build_controller(PRA, RowPolicy.OPEN_PAGE)
+    ctrl.protocol_checker = ProtocolChecker(T, relax_act_constraints=True)
+    for col in range(8):
+        ctrl.submit(Request(
+            kind=ReqKind.READ,
+            addr=Address(channel=0, rank=0, bank=0, row=3, column=col),
+            arrive_cycle=0,
+        ))
+    cycle = 0
+    guard = 0
+    while ctrl.pending and guard < 100_000:
+        issued, hint = ctrl.step(cycle)
+        cycle = cycle + 1 if issued else max(hint, cycle + 1)
+        guard += 1
+    assert not ctrl.pending
+    assert ctrl.stats.reads.served == 8
+    assert ctrl.stats.streaks >= 1
+    assert ctrl.stats.streak_commands >= 2
+    # Every service that didn't need its own ACT rode an open-row hit
+    # (the row-hit cap may split the run across several activations).
+    assert ctrl.stats.reads.row_hits == 8 - ctrl.stats.reads.activations
+    assert ctrl.stats.reads.activations <= 2

@@ -48,6 +48,28 @@ def test_event_engine_matches_polling_oracle(scheme, workload_name, seed):
     assert [c.ipc for c in event.cores] == [c.ipc for c in polled.cores]
 
 
+@pytest.mark.parametrize("seed", [1, 7])
+def test_streak_heavy_workload_matches_polling_oracle(seed):
+    """Burst-streak commits must be invisible to the oracle.
+
+    libquantum's sequential read stream (mean run length 96 lines)
+    piles row hits onto every open row, so the event engine serves
+    nearly everything through multi-command streaks.  The strict
+    polling loop must still see identical results: a streak is only a
+    batched commit of commands the per-cycle scheduler would have
+    issued at exactly the same cycles.
+    """
+    event = _build(PRA, "libquantum", seed).run()
+    polled = _build(PRA, "libquantum", seed).run(strict_polling=True)
+    assert event.summary() == polled.summary()
+    assert event.runtime_cycles == polled.runtime_cycles
+    stats = event.controller
+    # The workload actually exercised the streak path.
+    assert stats.streaks > 0
+    assert stats.streak_commands >= 2 * stats.streaks
+    assert stats.streak_commands == polled.controller.streak_commands
+
+
 def test_polling_flag_keyword_only():
     """The oracle path is opt-in and must not swallow ``max_cycles``."""
     system = _build(BASELINE, "GUPS", 1)

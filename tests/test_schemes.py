@@ -12,6 +12,7 @@ from repro.core.schemes import (
     HALF_DRAM_PRA,
     MAIN_SCHEMES,
     PRA,
+    SDS,
     Scheme,
     by_name,
 )
@@ -78,6 +79,16 @@ class TestCombinations:
         assert DBI.dbi and not DBI.write_uses_mask
         assert DBI_PRA.dbi and DBI_PRA.write_uses_mask
 
+    def test_sds_isolates_write_io(self):
+        # SDS drives only dirty words on write bursts but never masks
+        # activations: no partial rows, no false hits, stock timing.
+        assert SDS.scale_write_io
+        assert not SDS.write_uses_mask
+        assert SDS.read_fraction == 1.0
+        assert SDS.write_fraction == 1.0
+        assert not SDS.relax_act_constraints
+        assert SDS.burst_multiplier == 1
+
     def test_with_dbi_builder(self):
         pra_dbi = PRA.with_dbi()
         assert pra_dbi.dbi
@@ -113,6 +124,7 @@ class TestRegistry:
             "DBI",
             "DBI+PRA",
             "PRA-DM",
+            "SDS",
         }
 
 
