@@ -60,6 +60,14 @@ class DirtyBlockIndex:
         lines = self._rows.get(self.row_of(line_addr), set())
         return sorted(addr for addr in lines if addr != line_addr)
 
+    def export_rows(self) -> Dict[Hashable, Tuple[int, ...]]:
+        """Snapshot the dirty registry as picklable sorted tuples."""
+        return {key: tuple(sorted(lines)) for key, lines in self._rows.items()}
+
+    def restore_rows(self, rows: Dict[Hashable, Tuple[int, ...]]) -> None:
+        """Restore-by-copy a registry captured by :meth:`export_rows`."""
+        self._rows = {key: set(lines) for key, lines in rows.items()}
+
     def on_writeback(self, line_addr: int) -> List[int]:
         """A dirty line is being written back: pick companions to drain.
 

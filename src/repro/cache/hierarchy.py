@@ -23,7 +23,7 @@ modelling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cache.dbi import DirtyBlockIndex
 from repro.cache.set_assoc import CacheStats, Eviction, SetAssociativeCache
@@ -128,15 +128,58 @@ class CacheHierarchy:
                 traffic.writebacks.append((companion, mask))
 
     # ------------------------------------------------------------------
+    def warm_block(
+        self,
+        core_id: int,
+        addrs: Sequence[int],
+        masks: Sequence[int],
+        start: int,
+        end: int,
+    ) -> None:
+        """Play ``addrs[start:end]`` through the hierarchy without timing.
+
+        The block-array twin of calling :meth:`access` per event and
+        discarding the traffic: cache and DBI state evolve identically
+        (``fill_on_miss``/``no_fill`` only shape the returned traffic,
+        never the state, so the flags are not needed here).  In
+        LLC-only mode the per-event :class:`MemoryTraffic` allocation
+        and method dispatch are inlined away — warmup replays ~4x the
+        LLC line count per :class:`~repro.sim.system.System`, which
+        made this the front end's hottest loop before the warm-state
+        snapshot cache amortized it.
+        """
+        if self.l1s is not None:
+            access = self.access
+            for i in range(start, end):
+                access(core_id, addrs[i], write_mask=masks[i])
+            return
+        l2_access = self.l2.access
+        dbi = self.dbi
+        if dbi is None:
+            for i in range(start, end):
+                l2_access(addrs[i], masks[i])
+            return
+        clean_line = self.l2.clean_line
+        for i in range(start, end):
+            addr = addrs[i]
+            mask = masks[i]
+            _, victim = l2_access(addr, mask)
+            if mask:
+                dbi.mark_dirty(addr)
+            if victim is not None:
+                if not victim.dirty_mask:
+                    dbi.mark_clean(victim.line_addr)
+                else:
+                    for companion in dbi.on_writeback(victim.line_addr):
+                        clean_line(companion)
+
+    # ------------------------------------------------------------------
     def flush_dirty(self) -> List[Tuple[int, int]]:
         """Drain every dirty LLC line (end-of-run writeback traffic)."""
-        drained: List[Tuple[int, int]] = []
-        for cache_set in self.l2._sets:
-            for line in cache_set.values():
-                if line.dirty:
-                    drained.append((line.line_addr, line.clean()))
-                    if self.dbi is not None:
-                        self.dbi.mark_clean(line.line_addr)
+        drained = self.l2.drain_dirty()
+        if self.dbi is not None:
+            for line_addr, _ in drained:
+                self.dbi.mark_clean(line_addr)
         return drained
 
     @property

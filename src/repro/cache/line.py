@@ -4,6 +4,16 @@ The 64 B data field of a line is logically divided into eight 8 B word
 segments; each has its own dirty bit.  The whole-line dirty state is
 the OR of the word dirty bits, so FGD adds 7 bits per line on top of
 the conventional single dirty bit.
+
+Two representations live here:
+
+* :class:`CacheLine` — a standalone value object (tests, examples,
+  reference models);
+* :class:`LineView` — a write-through window onto one slot of an
+  array-backed :class:`~repro.cache.set_assoc.SetAssociativeCache`.
+  The cache itself stores no line objects at all (its state is flat
+  integer arrays); views are materialized only for introspection
+  (``lookup``, ``_sets``) and forward every read/write to the arrays.
 """
 
 from __future__ import annotations
@@ -17,9 +27,9 @@ from repro.dram.geometry import FULL_MASK, WORDS_PER_LINE
 class CacheLine:
     """One cache line: tag state plus the FGD word-dirty mask.
 
-    ``slots=True``: one line object exists per resident cache line and
-    one is allocated per miss, so the dict-free layout measurably cuts
-    both memory and allocation time on the simulator's cache path.
+    ``slots=True``: line objects are allocated in bulk by reference
+    models and tests, so the dict-free layout keeps them cheap.  The
+    production cache no longer stores these — see :class:`LineView`.
     """
 
     line_addr: int
@@ -56,6 +66,83 @@ class CacheLine:
         """Clear all dirty bits (after writeback); returns the old mask."""
         mask, self.dirty_mask = self.dirty_mask, 0
         return mask
+
+
+class LineView:
+    """Write-through view of one resident line in an array-backed cache.
+
+    Presents the :class:`CacheLine` interface (``line_addr``,
+    ``dirty_mask``, ``lru_stamp``, ``dirty``, ``dirty_words``,
+    ``mark_written``, ``absorb``, ``clean``) while reading and writing
+    the owning cache's flat state arrays, so mutations through the view
+    are mutations of the cache.
+    """
+
+    __slots__ = ("_cache", "_slot")
+
+    def __init__(self, cache, slot: int) -> None:
+        """Bind the view to ``slot`` of ``cache``'s state arrays."""
+        self._cache = cache
+        self._slot = slot
+
+    @property
+    def line_addr(self) -> int:
+        """Line address resident in the viewed slot."""
+        return self._cache._addr[self._slot]
+
+    @property
+    def dirty_mask(self) -> int:
+        """FGD word-dirty mask of the viewed line."""
+        return self._cache._mask[self._slot]
+
+    @dirty_mask.setter
+    def dirty_mask(self, value: int) -> None:
+        if not 0 <= value <= FULL_MASK:
+            raise ValueError(f"dirty mask out of range: {value:#x}")
+        self._cache._mask[self._slot] = value
+
+    @property
+    def lru_stamp(self) -> int:
+        """Monotonic LRU stamp of the viewed line."""
+        return self._cache._stamps[self._slot]
+
+    @lru_stamp.setter
+    def lru_stamp(self, value: int) -> None:
+        self._cache._stamps[self._slot] = value
+
+    @property
+    def dirty(self) -> bool:
+        """Whether any word of the line is dirty."""
+        return self._cache._mask[self._slot] != 0
+
+    @property
+    def dirty_words(self) -> int:
+        """Number of dirty 8 B words (1..8 when dirty, 0 when clean)."""
+        return bin(self._cache._mask[self._slot]).count("1")
+
+    def mark_written(self, word_mask: int) -> None:
+        """Record a store touching the words in ``word_mask``."""
+        if not 0 < word_mask <= FULL_MASK:
+            raise ValueError(f"store word mask out of range: {word_mask:#x}")
+        self._cache._mask[self._slot] |= word_mask
+
+    def absorb(self, other_mask: int) -> None:
+        """OR-merge dirty bits from an evicted upper-level line."""
+        if not 0 <= other_mask <= FULL_MASK:
+            raise ValueError(f"mask out of range: {other_mask:#x}")
+        self._cache._mask[self._slot] |= other_mask
+
+    def clean(self) -> int:
+        """Clear all dirty bits (after writeback); returns the old mask."""
+        mask = self._cache._mask[self._slot]
+        self._cache._mask[self._slot] = 0
+        return mask
+
+    def __repr__(self) -> str:
+        return (
+            f"LineView(line_addr={self.line_addr}, "
+            f"dirty_mask={self.dirty_mask:#x}, lru_stamp={self.lru_stamp})"
+        )
 
 
 def word_mask_for_store(offset_bytes: int, size_bytes: int) -> int:

@@ -3,20 +3,32 @@
 Addresses are cache-line indices (byte address // 64); data is not
 stored, only tag state and FGD dirty masks, which is all the memory
 system needs.
+
+The backing store is array-based: instead of one ``CacheLine`` object
+per resident line plus a global ``itertools.count`` LRU clock, each
+set keeps a ``tag -> slot`` dict into three flat integer arrays
+(line address, dirty mask, LRU stamp) shared by all sets.  A hit is a
+dict probe plus two list writes — no object allocation anywhere on the
+hot path — and the whole cache state is a handful of picklable lists,
+which is what makes the warm-state snapshot cache
+(:mod:`repro.sim.snapshot`) a plain copy.  ``lookup`` and the ``_sets``
+compatibility property materialize :class:`~repro.cache.line.LineView`
+write-through views on demand for tests and introspection.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.cache.line import CacheLine
+from repro.cache.line import LineView
 from repro.dram.geometry import LINE_BYTES
 
 
 @dataclass
 class CacheStats:
+    """Hit/miss/eviction counters plus the dirty-word histogram."""
+
     hits: int = 0
     misses: int = 0
     evictions: int = 0
@@ -28,10 +40,12 @@ class CacheStats:
 
     @property
     def accesses(self) -> int:
+        """Total references (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of references that hit (0.0 when untouched)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
     def dirty_word_fractions(self) -> Dict[int, float]:
@@ -51,11 +65,12 @@ class Eviction:
 
     @property
     def dirty(self) -> bool:
+        """Whether the victim carried any dirty words."""
         return self.dirty_mask != 0
 
 
 class SetAssociativeCache:
-    """LRU set-associative cache over line addresses."""
+    """LRU set-associative cache over line addresses (array-backed)."""
 
     def __init__(
         self,
@@ -64,6 +79,7 @@ class SetAssociativeCache:
         line_bytes: int = LINE_BYTES,
         name: str = "cache",
     ) -> None:
+        """Size the tag arrays for ``capacity_bytes`` / ``ways``."""
         if capacity_bytes % (ways * line_bytes):
             raise ValueError("capacity must be a multiple of ways * line size")
         self.name = name
@@ -71,18 +87,42 @@ class SetAssociativeCache:
         self.num_sets = capacity_bytes // (ways * line_bytes)
         if self.num_sets < 1:
             raise ValueError("cache must have at least one set")
-        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
-        self._stamp = itertools.count()
+        slots = self.num_sets * ways
+        #: Per-set ``tag -> slot`` directory.
+        self._tags: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        #: Flat per-slot state arrays (parallel; indexed by slot).
+        self._addr: List[int] = [0] * slots
+        self._mask: List[int] = [0] * slots
+        self._stamps: List[int] = [0] * slots
+        #: Per-set stack of unoccupied slots.
+        self._free: List[List[int]] = [
+            list(range((s + 1) * ways - 1, s * ways - 1, -1))
+            for s in range(self.num_sets)
+        ]
+        #: Monotonic LRU clock (plain int: picklable, snapshot-friendly).
+        self._stamp_counter = 0
         self.stats = CacheStats()
 
-    def _set_and_tag(self, line_addr: int) -> Tuple[Dict[int, CacheLine], int]:
-        return self._sets[line_addr % self.num_sets], line_addr // self.num_sets
+    # ------------------------------------------------------------------
+    @property
+    def _sets(self) -> List[Dict[int, LineView]]:
+        """Compatibility view: per-set ``tag -> LineView`` dicts.
 
-    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        Materialized on demand for tests and reference models; the
+        views write through to the state arrays, so mutating a view
+        mutates the cache.
+        """
+        return [
+            {tag: LineView(self, slot) for tag, slot in tags.items()}
+            for tags in self._tags
+        ]
+
+    def lookup(self, line_addr: int) -> Optional[LineView]:
         """Probe without updating LRU or stats."""
-        cache_set, tag = self._set_and_tag(line_addr)
-        return cache_set.get(tag)
+        slot = self._tags[line_addr % self.num_sets].get(line_addr // self.num_sets)
+        return None if slot is None else LineView(self, slot)
 
+    # ------------------------------------------------------------------
     def access(
         self, line_addr: int, write_mask: int = 0
     ) -> Tuple[bool, Optional[Eviction]]:
@@ -93,63 +133,135 @@ class SetAssociativeCache:
         mask; clean victims are returned too so callers can maintain
         inclusive/exclusive metadata (e.g. the DBI).
         """
-        # _set_and_tag inlined: this is the hottest cache call.
-        cache_set = self._sets[line_addr % self.num_sets]
-        tag = line_addr // self.num_sets
-        line = cache_set.get(tag)
-        hit = line is not None
-        victim: Optional[Eviction] = None
+        # Fully inlined: this is the hottest cache call.
+        set_idx = line_addr % self.num_sets
+        tags = self._tags[set_idx]
+        slot = tags.get(line_addr // self.num_sets)
         stats = self.stats
-        if hit:
+        self._stamp_counter = stamp = self._stamp_counter + 1
+        if slot is not None:
             stats.hits += 1
+            self._stamps[slot] = stamp
+            if write_mask:
+                self._mask[slot] |= write_mask
+            return (True, None)
+        stats.misses += 1
+        victim: Optional[Eviction] = None
+        if len(tags) >= self.ways:
+            victim, slot = self._evict_slot(tags)
         else:
-            stats.misses += 1
-            if len(cache_set) >= self.ways:
-                victim = self._evict(cache_set)
-            line = CacheLine(line_addr=line_addr)
-            cache_set[tag] = line
-        line.lru_stamp = next(self._stamp)
-        if write_mask:
-            line.mark_written(write_mask)
-        return (hit, victim)
+            slot = self._free[set_idx].pop()
+        tags[line_addr // self.num_sets] = slot
+        self._addr[slot] = line_addr
+        self._mask[slot] = write_mask
+        self._stamps[slot] = stamp
+        return (False, victim)
 
-    def _evict(self, cache_set: Dict[int, CacheLine]) -> Eviction:
-        victim_tag = min(cache_set, key=lambda t: cache_set[t].lru_stamp)
-        victim = cache_set.pop(victim_tag)
-        self.stats.evictions += 1
-        if victim.dirty:
-            self.stats.dirty_evictions += 1
-            self.stats.dirty_word_hist[victim.dirty_words] += 1
-        return Eviction(line_addr=victim.line_addr, dirty_mask=victim.dirty_mask)
+    def _evict_slot(self, tags: Dict[int, int]) -> Tuple[Eviction, int]:
+        """Drop the LRU line of a full set; return (victim, freed slot)."""
+        stamps = self._stamps
+        victim_tag, slot = min(tags.items(), key=lambda kv: stamps[kv[1]])
+        del tags[victim_tag]
+        stats = self.stats
+        stats.evictions += 1
+        mask = self._mask[slot]
+        if mask:
+            stats.dirty_evictions += 1
+            stats.dirty_word_hist[bin(mask).count("1")] += 1
+        return Eviction(line_addr=self._addr[slot], dirty_mask=mask), slot
 
     def install(self, line_addr: int, dirty_mask: int = 0) -> Optional[Eviction]:
         """Insert a line (e.g. absorbed from an upper level)."""
-        cache_set, tag = self._set_and_tag(line_addr)
-        line = cache_set.get(tag)
-        if line is not None:
-            line.absorb(dirty_mask)
-            line.lru_stamp = next(self._stamp)
+        set_idx = line_addr % self.num_sets
+        tags = self._tags[set_idx]
+        tag = line_addr // self.num_sets
+        slot = tags.get(tag)
+        self._stamp_counter = stamp = self._stamp_counter + 1
+        if slot is not None:
+            self._mask[slot] |= dirty_mask
+            self._stamps[slot] = stamp
             return None
-        victim = self._evict(cache_set) if len(cache_set) >= self.ways else None
-        new_line = CacheLine(line_addr=line_addr, dirty_mask=dirty_mask)
-        new_line.lru_stamp = next(self._stamp)
-        cache_set[tag] = new_line
+        victim: Optional[Eviction] = None
+        if len(tags) >= self.ways:
+            victim, slot = self._evict_slot(tags)
+        else:
+            slot = self._free[set_idx].pop()
+        tags[tag] = slot
+        self._addr[slot] = line_addr
+        self._mask[slot] = dirty_mask
+        self._stamps[slot] = stamp
         return victim
 
     def clean_line(self, line_addr: int) -> int:
         """Clear a resident line's dirty bits; returns the old mask."""
-        line = self.lookup(line_addr)
-        if line is None:
+        slot = self._tags[line_addr % self.num_sets].get(line_addr // self.num_sets)
+        if slot is None:
             return 0
-        return line.clean()
+        mask = self._mask[slot]
+        self._mask[slot] = 0
+        return mask
 
     def invalidate(self, line_addr: int) -> Optional[Eviction]:
         """Drop a line; returns it (with dirty state) if present."""
-        cache_set, tag = self._set_and_tag(line_addr)
-        line = cache_set.pop(tag, None)
-        if line is None:
+        set_idx = line_addr % self.num_sets
+        slot = self._tags[set_idx].pop(line_addr // self.num_sets, None)
+        if slot is None:
             return None
-        return Eviction(line_addr=line.line_addr, dirty_mask=line.dirty_mask)
+        self._free[set_idx].append(slot)
+        return Eviction(line_addr=self._addr[slot], dirty_mask=self._mask[slot])
 
     def resident_lines(self) -> int:
-        return sum(len(s) for s in self._sets)
+        """Number of lines currently resident across all sets."""
+        return sum(len(tags) for tags in self._tags)
+
+    # ------------------------------------------------------------------
+    def drain_dirty(self) -> List[Tuple[int, int]]:
+        """Clean every dirty line; returns ``(line_addr, old_mask)``.
+
+        Iterates sets in index order and lines in residency
+        (dict-insertion) order — the same order the object-backed
+        implementation produced — so end-of-run writeback traffic is
+        reproducible.
+        """
+        drained: List[Tuple[int, int]] = []
+        addr, mask = self._addr, self._mask
+        for tags in self._tags:
+            for slot in tags.values():
+                if mask[slot]:
+                    drained.append((addr[slot], mask[slot]))
+                    mask[slot] = 0
+        return drained
+
+    # ------------------------------------------------------------------
+    def export_state(self) -> tuple:
+        """Snapshot the full tag/dirty/LRU state as picklable copies.
+
+        The returned tuple is independent of the live cache (plain
+        dict/list copies), so it can sit in the warm-state snapshot
+        cache while Systems restored from it keep mutating.
+        """
+        return (
+            [dict(tags) for tags in self._tags],
+            list(self._addr),
+            list(self._mask),
+            list(self._stamps),
+            [list(free) for free in self._free],
+            self._stamp_counter,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Restore-by-copy a state captured by :meth:`export_state`.
+
+        Dict-insertion order is part of the copy, so a restored cache
+        evolves bit-identically to the one that was snapshotted
+        (eviction scans iterate the tag dicts).
+        """
+        tags, addr, mask, stamps, free, counter = state
+        if len(tags) != self.num_sets or len(addr) != len(self._addr):
+            raise ValueError("snapshot geometry does not match this cache")
+        self._tags = [dict(t) for t in tags]
+        self._addr = list(addr)
+        self._mask = list(mask)
+        self._stamps = list(stamps)
+        self._free = [list(f) for f in free]
+        self._stamp_counter = counter

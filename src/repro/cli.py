@@ -51,6 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memory instructions per core")
         p.add_argument("--policy", choices=sorted(_POLICIES), default="relaxed")
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--profile", action="store_true",
+                       help="run under cProfile, print top-25 by cumulative time")
 
     run_p = sub.add_parser("run", help="simulate one configuration")
     add_common(run_p)
@@ -74,6 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=1)
     sweep_p.add_argument("--out", required=True,
                          help="output path (.csv or .json)")
+    sweep_p.add_argument("--profile", action="store_true",
+                         help="run under cProfile, print top-25 by cumulative time")
     return parser
 
 
@@ -153,25 +157,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profiled(func, *args):
+    """Run ``func`` under cProfile; print the top 25 cumulative entries."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(func, *args)
+    finally:
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    dispatch = {"run": cmd_run, "compare": cmd_compare, "sweep": cmd_sweep}
     try:
         if args.command == "list":
             return cmd_list()
-        if args.command == "run":
-            return cmd_run(args)
-        if args.command == "compare":
-            return cmd_compare(args)
-        if args.command == "sweep":
-            return cmd_sweep(args)
+        command = dispatch.get(args.command)
+        if command is None:
+            raise AssertionError(f"unhandled command {args.command!r}")
+        if getattr(args, "profile", False):
+            return _profiled(command, args)
+        return command(args)
     except (KeyError, ValueError) as exc:
         # Bad scheme/workload names and invalid sizes are user errors:
         # print them cleanly instead of a traceback.
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
-    raise AssertionError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -15,6 +15,7 @@ from repro.sim.runner import (
     geometric_mean,
 )
 from repro.sim.sampling import EpochSample, EpochSampler, EpochSeries
+from repro.sim.snapshot import SNAPSHOTS, SnapshotCache, WarmSnapshot
 from repro.sim.sweep import Sweep
 from repro.sim.system import OVERFLOW_STALL_THRESHOLD, System, simulate
 from repro.sim.validate import ValidationError, validate_result
@@ -36,7 +37,10 @@ __all__ = [
     "OVERFLOW_STALL_THRESHOLD",
     "simulate",
     "SimResult",
+    "SNAPSHOTS",
+    "SnapshotCache",
     "Sweep",
+    "WarmSnapshot",
     "System",
     "SystemConfig",
     "ValidationError",

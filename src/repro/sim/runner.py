@@ -40,15 +40,20 @@ def default_events_per_core() -> int:
 
 
 def _simulate_task(task: Tuple) -> SimResult:
-    """One (config, workload, events, seed, warmup) simulation.
+    """One (config, workload, events, seed, warmup, snapshot_dir) run.
 
     Module-level so :meth:`ExperimentRunner.run_many` worker processes
     can unpickle it; :class:`SimResult` is a plain dataclass tree and
     crosses the process boundary intact.
     """
-    config, wl, events, seed, warmup = task
+    config, wl, events, seed, warmup, snapshot_dir = task
     system = System(
-        config, wl, events, seed=seed, warmup_events_per_core=warmup
+        config,
+        wl,
+        events,
+        seed=seed,
+        warmup_events_per_core=warmup,
+        snapshot_dir=snapshot_dir,
     )
     return system.run()
 
@@ -62,13 +67,22 @@ class ExperimentRunner:
         base_config: Optional[SystemConfig] = None,
         seed: int = 1,
         warmup_events_per_core: Optional[int] = None,
+        snapshot_dir: Optional[str] = None,
     ) -> None:
+        """Configure shared run parameters for all cached simulations.
+
+        ``snapshot_dir`` opts the runner into the on-disk warm-state
+        snapshot layer, extending warm-state reuse across
+        :meth:`run_many` worker processes (which share no in-process
+        cache) and across interpreter invocations.
+        """
         self.events_per_core = (
             default_events_per_core() if events_per_core is None else events_per_core
         )
         self.base_config = base_config if base_config is not None else SystemConfig()
         self.seed = seed
         self.warmup_events_per_core = warmup_events_per_core
+        self.snapshot_dir = snapshot_dir
         self._results: Dict[Tuple, SimResult] = {}
 
     # ------------------------------------------------------------------
@@ -92,6 +106,7 @@ class ExperimentRunner:
                 events,
                 seed=self.seed,
                 warmup_events_per_core=self.warmup_events_per_core,
+                snapshot_dir=self.snapshot_dir,
             )
             result = system.run()
             self._results[key] = result
@@ -125,7 +140,12 @@ class ExperimentRunner:
             if key not in self._results and key not in todo:
                 config = self.base_config.with_scheme(scheme).with_policy(policy)
                 todo[key] = (
-                    config, wl, events, self.seed, self.warmup_events_per_core
+                    config,
+                    wl,
+                    events,
+                    self.seed,
+                    self.warmup_events_per_core,
+                    self.snapshot_dir,
                 )
         if todo:
             tasks = list(todo.values())

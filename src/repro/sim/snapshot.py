@@ -1,0 +1,219 @@
+"""Warm-state snapshot cache: warm the hierarchy once, restore by copy.
+
+Every :class:`~repro.sim.system.System` replays roughly 4x the LLC
+line count through the cache hierarchy before timing even starts, and
+a sweep builds one System per grid point — so the second and every
+later scheme of the same (workload, seed, cache geometry) repeats a
+warmup whose outcome is already known.  This module snapshots the
+post-warmup state into a compact picklable form and restores it by
+copy:
+
+* **fingerprint** — :func:`warm_fingerprint` hashes exactly the
+  configuration bits warmup depends on: the workload's profiles, the
+  resolved seed, the warmup length, the cache geometry, and (only for
+  DBI schemes) the address-mapping bits that shape the DBI's row keys.
+  Everything else — scheme timing flags, policy, ECC chips — cannot
+  influence warm state, so Baseline/PRA/SDS/... of one grid column all
+  share a single snapshot;
+* **payload** — :class:`WarmSnapshot` holds the array-backed caches'
+  exported state (tag dicts + flat int arrays), plus the DBI registry.
+  Restoring is a plain copy, bit-identical to re-running warmup
+  because dict insertion order is part of the copy;
+* **layers** — an in-process LRU (:data:`SNAPSHOTS`) serves repeated
+  Systems in one process; an opt-in disk layer (``snapshot_dir=`` or
+  the ``REPRO_SNAPSHOT_DIR`` environment variable) lets sweep/runner
+  worker processes and repeated benchmark invocations reuse warm state
+  across process boundaries.  Disk writes are atomic (temp file +
+  rename), so racing workers at worst both compute the same snapshot.
+
+Trace position needs no snapshotting on the fast path: the precompiled
+trace blocks (:mod:`repro.workloads.synthetic`) are indexable, so the
+timed run simply starts at index ``warmup_events_per_core``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import List, Optional
+
+#: Snapshot format marker; bump to invalidate stale disk snapshots
+#: whenever the cache state layout or warmup semantics change.
+_FORMAT = "warm-v1"
+
+
+class WarmSnapshot:
+    """Post-warmup hierarchy state in compact picklable form."""
+
+    __slots__ = ("l2", "l1s", "dbi_rows")
+
+    def __init__(self, l2: tuple, l1s: Optional[List[tuple]], dbi_rows) -> None:
+        """Bundle exported cache states plus the DBI registry."""
+        self.l2 = l2
+        self.l1s = l1s
+        self.dbi_rows = dbi_rows
+
+
+def warm_fingerprint(config, workload, seed: int, warmup_events_per_core: int):
+    """Hashable identity of everything that shapes warm cache state.
+
+    Deliberately *excludes* scheme timing/power flags, row policy and
+    ECC: warmup only exercises the cache hierarchy and the trace
+    generators, so schemes differing only in DRAM behaviour share one
+    snapshot.  The DBI is the exception — its row keys come from the
+    address mapper — so DBI schemes key on geometry + interleaving too.
+    """
+    cache = config.cache
+    cache_key = (
+        cache.llc_bytes,
+        cache.llc_ways,
+        cache.use_l1,
+        cache.l1_bytes if cache.use_l1 else 0,
+        cache.l1_ways if cache.use_l1 else 0,
+    )
+    dbi_key = None
+    if config.scheme.dbi:
+        dbi_key = (
+            cache.dbi_max_writebacks,
+            config.geometry,
+            config.effective_interleaving,
+        )
+    return (
+        _FORMAT,
+        workload.name,
+        tuple(workload.apps),
+        seed,
+        warmup_events_per_core,
+        cache_key,
+        dbi_key,
+    )
+
+
+def capture_warm_state(hierarchy) -> WarmSnapshot:
+    """Export a just-warmed hierarchy into a :class:`WarmSnapshot`."""
+    l1s = None
+    if hierarchy.l1s is not None:
+        l1s = [l1.export_state() for l1 in hierarchy.l1s]
+    dbi_rows = None
+    if hierarchy.dbi is not None:
+        dbi_rows = hierarchy.dbi.export_rows()
+    return WarmSnapshot(hierarchy.l2.export_state(), l1s, dbi_rows)
+
+
+def restore_warm_state(hierarchy, snapshot: WarmSnapshot) -> None:
+    """Copy a snapshot into a freshly built (cold) hierarchy.
+
+    Restore is copy-in, so the snapshot stays pristine in the cache
+    while the restored System mutates its own state.
+    """
+    hierarchy.l2.restore_state(snapshot.l2)
+    if snapshot.l1s is not None:
+        if hierarchy.l1s is None or len(hierarchy.l1s) != len(snapshot.l1s):
+            raise ValueError("snapshot L1 layout does not match this hierarchy")
+        for l1, state in zip(hierarchy.l1s, snapshot.l1s):
+            l1.restore_state(state)
+    if snapshot.dbi_rows is not None:
+        if hierarchy.dbi is None:
+            raise ValueError("snapshot carries DBI state but hierarchy has none")
+        hierarchy.dbi.restore_rows(snapshot.dbi_rows)
+
+
+class SnapshotCache:
+    """Two-layer snapshot store: in-process LRU plus optional disk.
+
+    The memory layer serves repeated Systems inside one process (the
+    common sweep/runner/benchmark case).  The disk layer — enabled per
+    call by passing ``disk_dir`` — extends reuse across worker
+    processes and interpreter invocations.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        """Bound the memory layer at ``capacity`` snapshots."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._mem: "OrderedDict[tuple, WarmSnapshot]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _disk_path(disk_dir: str, key: tuple) -> str:
+        """Stable per-fingerprint file path under ``disk_dir``.
+
+        ``repr`` of the key is deterministic across processes (plain
+        ints/strings/floats/frozen dataclasses), unlike ``hash()``.
+        """
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        return os.path.join(disk_dir, f"{digest}.warmsnap")
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, key: tuple, disk_dir: Optional[str] = None
+    ) -> Optional[WarmSnapshot]:
+        """Fetch a snapshot from memory, falling back to disk."""
+        snapshot = self._mem.get(key)
+        if snapshot is not None:
+            self._mem.move_to_end(key)
+            self.hits += 1
+            return snapshot
+        if disk_dir:
+            path = self._disk_path(disk_dir, key)
+            try:
+                with open(path, "rb") as handle:
+                    snapshot = pickle.load(handle)
+            except (OSError, pickle.PickleError, EOFError, AttributeError):
+                snapshot = None
+            if isinstance(snapshot, WarmSnapshot):
+                self._insert(key, snapshot)
+                self.hits += 1
+                return snapshot
+        self.misses += 1
+        return None
+
+    def store(
+        self, key: tuple, snapshot: WarmSnapshot, disk_dir: Optional[str] = None
+    ) -> None:
+        """Insert a snapshot into memory and (optionally) onto disk."""
+        self._insert(key, snapshot)
+        if disk_dir:
+            try:
+                os.makedirs(disk_dir, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=disk_dir, suffix=".tmp")
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._disk_path(disk_dir, key))
+            except OSError:
+                # Disk layer is best-effort; warm state stays in memory.
+                pass
+
+    def _insert(self, key: tuple, snapshot: WarmSnapshot) -> None:
+        """LRU insert into the memory layer."""
+        self._mem[key] = snapshot
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.capacity:
+            self._mem.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop the memory layer (tests; disk files are left alone)."""
+        self._mem.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        """Snapshots currently held in memory."""
+        return len(self._mem)
+
+
+#: Process-wide snapshot cache used by :class:`~repro.sim.system.System`.
+SNAPSHOTS = SnapshotCache()
+
+
+def snapshot_disk_dir(explicit: Optional[str]) -> Optional[str]:
+    """Resolve the disk layer: explicit argument, else environment."""
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_SNAPSHOT_DIR") or None

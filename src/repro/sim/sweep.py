@@ -62,7 +62,7 @@ def _run_point(task: Tuple) -> Dict:
     unpickle it.  Returns the flattened result row (small and
     picklable; the heavy ``System`` never crosses the process
     boundary)."""
-    point, base_config, events, seed, warmup = task
+    point, base_config, events, seed, warmup, snapshot_dir = task
     config = _apply_point(base_config, point)
     result = simulate(
         config,
@@ -70,6 +70,7 @@ def _run_point(task: Tuple) -> Dict:
         events,
         seed=seed,
         warmup_events_per_core=warmup,
+        snapshot_dir=snapshot_dir,
     )
     row = {**point}
     row.update(result.summary())
@@ -85,11 +86,21 @@ class Sweep:
         base_config: Optional[SystemConfig] = None,
         seed: int = 1,
         warmup_events_per_core: Optional[int] = None,
+        snapshot_dir: Optional[str] = None,
     ) -> None:
+        """Configure grid-wide run parameters.
+
+        ``snapshot_dir`` opts the grid into the on-disk warm-state
+        snapshot layer: every scheme/policy point of the same
+        (workload, seed) restores one shared post-warmup state instead
+        of replaying warmup — including across ``run(workers=N)``
+        worker processes, which share no in-process cache.
+        """
         self.events_per_core = events_per_core
         self.base_config = base_config if base_config is not None else SystemConfig()
         self.seed = seed
         self.warmup = warmup_events_per_core
+        self.snapshot_dir = snapshot_dir
         self._axes: Dict[str, Sequence] = {}
         self.rows: List[Dict] = []
 
@@ -120,6 +131,7 @@ class Sweep:
                 self.events_per_core,
                 self.seed,
                 self.warmup,
+                self.snapshot_dir,
             )
             for combo in itertools.product(*(self._axes[n] for n in names))
         ]

@@ -36,8 +36,15 @@ from repro.dram.mapping import AddressMapper
 from repro.power.accounting import PowerAccountant
 from repro.sim.config import SystemConfig
 from repro.sim.results import CoreResult, SimResult
+from repro.sim.snapshot import (
+    SNAPSHOTS,
+    capture_warm_state,
+    restore_warm_state,
+    snapshot_disk_dir,
+    warm_fingerprint,
+)
 from repro.workloads.mixes import Workload
-from repro.workloads.synthetic import TraceGenerator
+from repro.workloads.synthetic import TraceGenerator, compiled_trace
 
 #: Total overflow-buffer entries beyond which cores are held back.
 OVERFLOW_STALL_THRESHOLD = 128
@@ -55,6 +62,10 @@ class System:
         warmup_events_per_core: Optional[int] = None,
         sampler=None,
         trace_overrides: Optional[List] = None,
+        *,
+        precompiled_traces: bool = True,
+        use_snapshots: bool = True,
+        snapshot_dir: Optional[str] = None,
     ) -> None:
         """Build the platform.
 
@@ -71,6 +82,19 @@ class System:
         event iterable per core (e.g. traces loaded from disk via
         :mod:`repro.workloads.trace_io`); the workload then only
         provides core names.
+
+        The front-end fast path is on by default for synthetic traces:
+
+        * ``precompiled_traces`` feeds warmup and cores from shared
+          :class:`~repro.workloads.synthetic.TraceBlocks` arrays
+          (``False`` restores the per-event ``TraceGenerator``
+          reference path, which also disables snapshots);
+        * ``use_snapshots`` reuses post-warmup cache state across
+          Systems with the same warm fingerprint — bit-identical to a
+          cold warmup, just restored by copy
+          (:attr:`snapshot_restored` reports whether it happened);
+        * ``snapshot_dir`` opts into the on-disk snapshot layer (the
+          ``REPRO_SNAPSHOT_DIR`` environment variable does the same).
         """
         if events_per_core <= 0:
             raise ValueError("events_per_core must be positive")
@@ -143,25 +167,71 @@ class System:
         if trace_overrides is not None and len(trace_overrides) != workload.num_cores:
             raise ValueError("need one trace override per core")
 
+        #: Whether this System skipped warmup via a snapshot restore.
+        self.snapshot_restored = False
         core_cfg = config.core
         self.cores: List[Core] = []
-        for core_id, profile in enumerate(workload.apps):
-            if trace_overrides is not None:
-                stream = iter(trace_overrides[core_id])
-            else:
-                stream = iter(TraceGenerator(profile, seed=seed, core_id=core_id))
-            self._warm_caches(core_id, stream, warmup_events_per_core)
-            trace = islice(stream, events_per_core)
-            self.cores.append(
-                Core(
-                    core_id=core_id,
-                    trace=trace,
-                    cpu_per_mem_clock=core_cfg.cpu_per_mem_clock,
-                    nonmem_cpi=core_cfg.nonmem_cpi,
-                    max_outstanding_misses=core_cfg.max_outstanding_misses,
-                    rob_instructions=core_cfg.rob_instructions,
-                )
+
+        def _make_core(core_id: int, trace) -> Core:
+            return Core(
+                core_id=core_id,
+                trace=trace,
+                cpu_per_mem_clock=core_cfg.cpu_per_mem_clock,
+                nonmem_cpi=core_cfg.nonmem_cpi,
+                max_outstanding_misses=core_cfg.max_outstanding_misses,
+                rob_instructions=core_cfg.rob_instructions,
             )
+
+        if trace_overrides is None and precompiled_traces:
+            # Fast path: shared trace blocks + warm-state snapshots.
+            blocks_per_core = [
+                compiled_trace(profile, seed=seed, core_id=core_id)
+                for core_id, profile in enumerate(workload.apps)
+            ]
+            disk_dir = snapshot_disk_dir(snapshot_dir) if use_snapshots else None
+            key = None
+            if use_snapshots:
+                key = warm_fingerprint(
+                    config, workload, seed, warmup_events_per_core
+                )
+                snapshot = SNAPSHOTS.lookup(key, disk_dir)
+                if snapshot is not None:
+                    restore_warm_state(self.hierarchy, snapshot)
+                    self.snapshot_restored = True
+            if not self.snapshot_restored:
+                for core_id, blocks in enumerate(blocks_per_core):
+                    blocks.ensure(warmup_events_per_core)
+                    self.hierarchy.warm_block(
+                        core_id,
+                        blocks.addrs,
+                        blocks.masks,
+                        0,
+                        warmup_events_per_core,
+                    )
+                if use_snapshots:
+                    SNAPSHOTS.store(
+                        key, capture_warm_state(self.hierarchy), disk_dir
+                    )
+            for core_id, blocks in enumerate(blocks_per_core):
+                self.cores.append(
+                    _make_core(
+                        core_id,
+                        blocks.events(warmup_events_per_core, events_per_core),
+                    )
+                )
+        else:
+            # Reference path: per-event iterators, cold warmup.
+            for core_id, profile in enumerate(workload.apps):
+                if trace_overrides is not None:
+                    stream = iter(trace_overrides[core_id])
+                else:
+                    stream = iter(
+                        TraceGenerator(profile, seed=seed, core_id=core_id)
+                    )
+                self._warm_caches(core_id, stream, warmup_events_per_core)
+                self.cores.append(
+                    _make_core(core_id, islice(stream, events_per_core))
+                )
         self._reset_cache_stats()
 
         self._demand_map: Dict[int, Core] = {}
@@ -346,9 +416,11 @@ class System:
                 wake[idx] = w
                 heappush(heap, (w, idx))
 
-            # 5. Termination check.
+            # 5. Termination check — same ``core.done`` predicate the
+            # polling oracle reads, so the two loops can never disagree
+            # about when a core is finished.
             for core in cores:
-                if core._current is not None or core._outstanding:
+                if not core.done:
                     break
             else:
                 if not any(ctrl.pending for ctrl in controllers) and not any(
@@ -510,6 +582,7 @@ def simulate(
     seed: Optional[int] = None,
     max_cycles: Optional[int] = None,
     warmup_events_per_core: Optional[int] = None,
+    snapshot_dir: Optional[str] = None,
 ) -> SimResult:
     """Convenience one-shot: build a :class:`System` and run it."""
     system = System(
@@ -518,5 +591,6 @@ def simulate(
         events_per_core,
         seed=seed,
         warmup_events_per_core=warmup_events_per_core,
+        snapshot_dir=snapshot_dir,
     )
     return system.run(max_cycles)

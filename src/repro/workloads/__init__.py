@@ -15,7 +15,13 @@ from repro.workloads.mixes import (
 )
 from repro.workloads.phased import Phase, PhasedGenerator, phased_workload_name
 from repro.workloads.profiles import BENCHMARKS, BenchmarkProfile, profile
-from repro.workloads.synthetic import REGION_LINES, TraceGenerator, generate
+from repro.workloads.synthetic import (
+    REGION_LINES,
+    TraceBlocks,
+    TraceGenerator,
+    compiled_trace,
+    generate,
+)
 from repro.workloads.trace_io import (
     FileTraceWorkload,
     iter_trace,
@@ -27,6 +33,7 @@ __all__ = [
     "ALL_WORKLOADS",
     "BenchmarkProfile",
     "BENCHMARKS",
+    "compiled_trace",
     "FileTraceWorkload",
     "generate",
     "iter_trace",
@@ -45,6 +52,7 @@ __all__ = [
     "phased_workload_name",
     "profile",
     "REGION_LINES",
+    "TraceBlocks",
     "TraceGenerator",
     "Workload",
     "workload",

@@ -10,13 +10,29 @@ update-heavy kernels hit DRAM with a 1:1 read/write mix).
 
 Everything is driven by a seeded ``random.Random``, so traces are
 reproducible.
+
+Two consumption paths exist:
+
+* :class:`TraceGenerator` — the per-event iterator, kept as the
+  reference/oracle;
+* :class:`TraceBlocks` — the fast path: the same RNG decisions
+  materialized in chunks into parallel arrays (gaps, line addresses,
+  write masks, no-fill flags) and cached per (profile, seed, core) via
+  :func:`compiled_trace`, so every scheme of a sweep replays the same
+  arrays instead of regenerating an identical trace.  The block
+  materializer calls the *same* bound helpers in the *same* order as
+  ``__next__``, so the two paths consume one RNG stream identically —
+  ``tests/test_trace_blocks.py`` holds them to that bit for bit.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 import zlib
-from typing import Iterator, List, Optional
+from array import array
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
 
 from repro.cpu.trace import TraceEvent
 from repro.workloads.profiles import BenchmarkProfile
@@ -147,3 +163,190 @@ def generate(
     """Materialize ``events`` trace events for tests and examples."""
     gen = TraceGenerator(profile, seed=seed, core_id=core_id)
     return [next(gen) for _ in range(events)]
+
+
+class TraceBlocks:
+    """Precompiled trace for one (profile, seed, core): parallel arrays.
+
+    Events are materialized in chunks of :data:`BLOCK_EVENTS` into four
+    parallel typed arrays — ``gaps``, ``addrs``, ``masks``, ``flags``
+    (``array('i'/'q'/'B'/'b')``, ~14 bytes per event instead of one
+    ``TraceEvent`` object) — by an inlined copy of the
+    :class:`TraceGenerator` dispatch loop that reuses the generator's
+    own RNG helpers, so the arrays are bit-identical to the iterator's
+    output.  Cache warmup consumes the arrays directly (no
+    :class:`TraceEvent` allocation at all); the timed run consumes them
+    through :meth:`events`.  One instance is shared by every scheme of
+    the same (profile, seed, core) via :func:`compiled_trace`.
+    """
+
+    #: Events materialized per growth step.
+    BLOCK_EVENTS = 4096
+
+    __slots__ = ("gaps", "addrs", "masks", "flags", "_gen", "_pending")
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        seed: int = 0,
+        core_id: int = 0,
+        region_lines: int = REGION_LINES,
+    ) -> None:
+        """Wrap a fresh reference generator; arrays start empty."""
+        self._gen = TraceGenerator(
+            profile, seed=seed, core_id=core_id, region_lines=region_lines
+        )
+        self.gaps = array("i")
+        self.addrs = array("q")
+        self.masks = array("B")
+        self.flags = array("b")
+        #: Deferred RMW store carried across block boundaries.
+        self._pending: Optional[Tuple[int, int, int]] = None
+
+    def __len__(self) -> int:
+        """Events materialized so far."""
+        return len(self.gaps)
+
+    @property
+    def profile(self) -> BenchmarkProfile:
+        """The benchmark profile driving the trace."""
+        return self._gen.profile
+
+    def ensure(self, count: int) -> None:
+        """Materialize blocks until at least ``count`` events exist."""
+        while len(self.gaps) < count:
+            self._materialize_block()
+
+    def _materialize_block(self) -> None:
+        """Append one block of events to the parallel arrays.
+
+        Mirrors ``TraceGenerator.__next__`` exactly — same RNG calls in
+        the same order via the generator's own bound helpers — but
+        appends plain ints instead of constructing ``TraceEvent``
+        objects, and batches the loop over :data:`BLOCK_EVENTS` events.
+        """
+        gen = self._gen
+        gaps, addrs = self.gaps, self.addrs
+        masks, flags = self.masks, self.flags
+        rng_random = gen.rng.random
+        load_cut = gen._load_cut
+        store_cut = gen._store_cut
+        gap = gen._gap
+        dirty_mask = gen._dirty_mask
+        loads_next = gen.loads.next_line
+        stores_next = gen.stores.next_line
+        rmw_next = gen.rmw.next_line
+        no_fill = gen.profile.store_no_fill
+        pending = self._pending
+        for _ in range(self.BLOCK_EVENTS):
+            if pending is not None:
+                g, a, m = pending
+                pending = None
+                gaps.append(g)
+                addrs.append(a)
+                masks.append(m)
+                flags.append(0)
+                continue
+            roll = rng_random()
+            if roll < load_cut:
+                g = gap()
+                a = loads_next()
+                m = 0
+                nf = 0
+            elif roll < store_cut:
+                g = gap()
+                a = stores_next()
+                m = dirty_mask()
+                nf = 1 if no_fill else 0
+            else:
+                # RMW: load now, store to the same line right after.
+                a = rmw_next()
+                pending = (2, a, dirty_mask())
+                g = gap()
+                m = 0
+                nf = 0
+            gaps.append(g)
+            addrs.append(a)
+            masks.append(m)
+            flags.append(nf)
+        self._pending = pending
+
+    def events(self, start: int, count: int) -> Iterator[TraceEvent]:
+        """Yield ``count`` events from index ``start`` as trace events.
+
+        The block twin of "skip ``start`` events, then islice
+        ``count``" on the iterator; materialization happens lazily at
+        the first pull.
+        """
+        self.ensure(start + count)
+        gaps, addrs = self.gaps, self.addrs
+        masks, flags = self.masks, self.flags
+        for i in range(start, start + count):
+            yield TraceEvent(
+                gap=gaps[i],
+                line_addr=addrs[i],
+                write_mask=masks[i],
+                no_fill=bool(flags[i]),
+            )
+
+    def digest(self, count: int) -> str:
+        """SHA-256 over the first ``count`` events' arrays.
+
+        Determinism guard: the digest must be identical no matter which
+        process (or platform) materialized the blocks.
+        """
+        self.ensure(count)
+        h = hashlib.sha256()
+        for arr in (self.gaps, self.addrs, self.masks, self.flags):
+            h.update(arr[:count].tobytes())
+        return h.hexdigest()
+
+
+#: In-process LRU of shared :class:`TraceBlocks`, keyed by
+#: (profile, seed, core_id, region_lines).
+_BLOCK_CACHE: "OrderedDict[tuple, TraceBlocks]" = OrderedDict()
+_BLOCK_CACHE_CAPACITY = 64
+
+
+def compiled_trace(
+    profile: BenchmarkProfile,
+    seed: int = 0,
+    core_id: int = 0,
+    region_lines: int = REGION_LINES,
+) -> TraceBlocks:
+    """Shared :class:`TraceBlocks` for (profile, seed, core, region).
+
+    Every scheme of a sweep re-simulates the same workload/seed pair;
+    the block cache makes them all replay one materialization instead
+    of regenerating identical traces.  Bounded LRU (the blocks of a
+    finished grid point age out once :data:`_BLOCK_CACHE_CAPACITY`
+    newer keys arrive).
+    """
+    key = (profile, seed, core_id, region_lines)
+    blocks = _BLOCK_CACHE.get(key)
+    if blocks is None:
+        blocks = TraceBlocks(
+            profile, seed=seed, core_id=core_id, region_lines=region_lines
+        )
+        _BLOCK_CACHE[key] = blocks
+        while len(_BLOCK_CACHE) > _BLOCK_CACHE_CAPACITY:
+            _BLOCK_CACHE.popitem(last=False)
+    else:
+        _BLOCK_CACHE.move_to_end(key)
+    return blocks
+
+
+def blocks_digest(
+    profile_name: str, seed: int, core_id: int, events: int
+) -> str:
+    """Digest of a freshly materialized block set (no cache involved).
+
+    Module-level so spawned worker processes can import and call it —
+    the cross-process determinism guard of ``tests/test_trace_blocks``
+    compares these digests between spawn workers and the parent.
+    """
+    from repro.workloads.profiles import profile
+
+    return TraceBlocks(profile(profile_name), seed=seed, core_id=core_id).digest(
+        events
+    )

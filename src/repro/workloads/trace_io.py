@@ -13,7 +13,7 @@ Loads have ``write_mask`` 0.  Lines starting with ``#`` are comments.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.cpu.trace import TraceEvent
 
@@ -82,6 +82,11 @@ class FileTraceWorkload:
 
     ``as_workload`` supplies the core names; ``overrides`` supplies the
     per-core event iterators that replace the synthetic generators.
+
+    Each file is parsed once and the events cached, so building many
+    Systems over the same traces (scheme comparisons, sweeps) re-reads
+    nothing — ``overrides`` hands out fresh iterators over the cached
+    lists.
     """
 
     def __init__(self, paths: "List[Union[str, Path]]") -> None:
@@ -91,9 +96,18 @@ class FileTraceWorkload:
         for p in self.paths:
             if not p.exists():
                 raise FileNotFoundError(str(p))
+        self._cache: "List[Optional[List[TraceEvent]]]" = [None] * len(self.paths)
+
+    def _parsed(self, index: int) -> "List[TraceEvent]":
+        """Events of ``paths[index]``, parsed on first use then cached."""
+        events = self._cache[index]
+        if events is None:
+            events = load_trace(self.paths[index])
+            self._cache[index] = events
+        return events
 
     def events(self, core_id: int) -> Iterator[TraceEvent]:
-        return iter_trace(self.paths[core_id % len(self.paths)])
+        return iter(self._parsed(core_id % len(self.paths)))
 
     @property
     def num_cores(self) -> int:

@@ -26,6 +26,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_profile_flag(self):
+        args = build_parser().parse_args(["run", "--profile"])
+        assert args.profile is True
+        args = build_parser().parse_args(["run"])
+        assert args.profile is False
+
 
 @pytest.mark.slow
 class TestCommands:
@@ -64,6 +70,16 @@ class TestCommands:
         code = main(["run", "--workload", "nope", "--events", "300"])
         assert code == 2
         assert "unknown workload" in capsys.readouterr().err
+
+    def test_run_profiled(self, capsys):
+        code = main(["run", "--workload", "GUPS", "--scheme", "Baseline",
+                     "--events", "300", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GUPS / Baseline" in out
+        # The cProfile report follows the normal output.
+        assert "cumulative" in out
+        assert "function calls" in out
 
     def test_restricted_policy(self, capsys):
         code = main(["run", "--workload", "GUPS", "--scheme", "Baseline",

@@ -8,15 +8,19 @@ energy — on every scheme/workload/seed.  Any divergence means a hint
 was later than a true ready cycle (a scheduling event was skipped).
 
 The parallel sweep/runner engines carry the same obligation: a worker
-pool must reproduce the serial rows bit for bit.
+pool must reproduce the serial rows bit for bit.  So does the front-end
+fast path: precompiled trace blocks and warm-state snapshot restore
+must yield results bit-identical to per-event generation plus replayed
+warmup.
 """
 
 import pytest
 
 from repro.controller.policies import RowPolicy
-from repro.core.schemes import BASELINE, PRA
+from repro.core.schemes import BASELINE, DBI_PRA, PRA, SDS
 from repro.sim.config import CacheConfig, SystemConfig
 from repro.sim.runner import ExperimentRunner
+from repro.sim.snapshot import SNAPSHOTS
 from repro.sim.sweep import Sweep
 from repro.sim.system import System
 from repro.workloads.mixes import workload
@@ -25,7 +29,7 @@ EVENTS = 600
 WARMUP = 2000
 
 
-def _build(scheme, workload_name, seed):
+def _build(scheme, workload_name, seed, **kwargs):
     config = SystemConfig(scheme=scheme, cache=CacheConfig(llc_bytes=256 * 1024))
     return System(
         config,
@@ -33,6 +37,17 @@ def _build(scheme, workload_name, seed):
         EVENTS,
         seed=seed,
         warmup_events_per_core=WARMUP,
+        **kwargs,
+    )
+
+
+def _fingerprint(result):
+    """Everything a run reports, for bit-identity comparisons."""
+    return (
+        result.summary(),
+        result.runtime_cycles,
+        result.controller.total_served,
+        [c.ipc for c in result.cores],
     )
 
 
@@ -105,3 +120,74 @@ def test_run_many_parallel_matches_serial_and_dedups():
     # The duplicate resolved to the same cached object, simulated once.
     assert parallel[0] is parallel[2]
     assert len(runner._results) == 2
+
+
+@pytest.mark.parametrize(
+    "scheme", [BASELINE, PRA, SDS, DBI_PRA], ids=lambda s: s.name
+)
+def test_fast_path_matches_reference_path(scheme):
+    """Precompiled blocks + block warmup == iterators + replayed warmup.
+
+    The reference path is exactly the pre-fast-path construction:
+    per-event ``TraceGenerator`` iterators and ``_warm_caches``.
+    DBI+PRA covers the DBI mirror inside ``warm_block`` (victim
+    companions cleaned through the registry during warmup).
+    """
+    fast = _build(scheme, "MIX2", 1, use_snapshots=False).run()
+    reference = _build(
+        scheme, "MIX2", 1, precompiled_traces=False, use_snapshots=False
+    ).run()
+    assert _fingerprint(fast) == _fingerprint(reference)
+
+
+@pytest.mark.parametrize("scheme", [BASELINE, PRA, SDS], ids=lambda s: s.name)
+@pytest.mark.parametrize("workload_name", ["GUPS", "MIX2"])
+def test_snapshot_restore_matches_cold_warmup(scheme, workload_name):
+    """Snapshot-restored runs are bit-identical to cold-warmup runs."""
+    SNAPSHOTS.clear()
+    cold = _build(scheme, workload_name, 1, use_snapshots=False).run()
+    # Prime the snapshot cache, then build again: the second build must
+    # restore instead of warming, and produce identical results.
+    _build(scheme, workload_name, 1)
+    restored_system = _build(scheme, workload_name, 1)
+    assert restored_system.snapshot_restored
+    assert _fingerprint(restored_system.run()) == _fingerprint(cold)
+
+
+def test_schemes_share_warm_snapshot_unless_dbi():
+    """Baseline and PRA share one fingerprint; DBI schemes get their own.
+
+    Warm state only depends on the cache front end, so schemes that
+    differ purely in DRAM behaviour must hit the same snapshot — that
+    sharing is where the sweep speedup comes from.  A DBI scheme warms
+    extra state (the dirty-row registry), so it must *not* share.
+    """
+    SNAPSHOTS.clear()
+    _build(BASELINE, "GUPS", 1)
+    assert SNAPSHOTS.misses == 1
+    pra = _build(PRA, "GUPS", 1)
+    assert pra.snapshot_restored
+    assert SNAPSHOTS.hits == 1
+    dbi = _build(DBI_PRA, "GUPS", 1)
+    assert not dbi.snapshot_restored
+    assert len(SNAPSHOTS) == 2
+
+
+def test_snapshot_disk_layer_round_trip(tmp_path):
+    """A second process (simulated by a cleared cache) restores from disk."""
+    disk = str(tmp_path / "snaps")
+    SNAPSHOTS.clear()
+    cold = _build(PRA, "GUPS", 3, use_snapshots=False).run()
+    _build(PRA, "GUPS", 3, snapshot_dir=disk)  # writes the snapshot
+    SNAPSHOTS.clear()  # forget the memory layer, as a fresh worker would
+    restored_system = _build(PRA, "GUPS", 3, snapshot_dir=disk)
+    assert restored_system.snapshot_restored
+    assert _fingerprint(restored_system.run()) == _fingerprint(cold)
+
+
+def test_parallel_sweep_with_disk_snapshots_matches_serial(tmp_path):
+    """Worker processes reusing disk snapshots keep rows bit-identical."""
+    serial = _grid().run()
+    sweep = _grid()
+    sweep.snapshot_dir = str(tmp_path / "snaps")
+    assert sweep.run(workers=2) == serial

@@ -41,12 +41,20 @@ SUBPACKAGE_EXPORTS = {
     "repro.workloads": [
         "FileTraceWorkload",
         "PhasedGenerator",
+        "TraceBlocks",
         "TraceGenerator",
+        "compiled_trace",
         "load_trace",
         "save_trace",
     ],
     "repro.power": ["DDR3_1600_POWER", "PowerAccountant", "TABLE3_ACT_MW"],
-    "repro.sim": ["EpochSampler", "Sweep", "validate_result"],
+    "repro.sim": [
+        "EpochSampler",
+        "SNAPSHOTS",
+        "SnapshotCache",
+        "Sweep",
+        "validate_result",
+    ],
     "repro.stats": ["LatencyHistogram", "format_table"],
 }
 
