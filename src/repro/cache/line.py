@@ -19,6 +19,10 @@ Two representations live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cache.set_assoc import SetAssociativeCache
 
 from repro.dram.geometry import FULL_MASK, WORDS_PER_LINE
 
@@ -80,7 +84,7 @@ class LineView:
 
     __slots__ = ("_cache", "_slot")
 
-    def __init__(self, cache, slot: int) -> None:
+    def __init__(self, cache: "SetAssociativeCache", slot: int) -> None:
         """Bind the view to ``slot`` of ``cache``'s state arrays."""
         self._cache = cache
         self._slot = slot

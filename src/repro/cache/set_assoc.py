@@ -25,7 +25,7 @@ from repro.cache.line import LineView
 from repro.dram.geometry import LINE_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/eviction counters plus the dirty-word histogram."""
 

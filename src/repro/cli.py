@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.config import SystemConfig
 
 from repro.controller.policies import RowPolicy
 from repro.core.schemes import ALL_SCHEMES, BASELINE, by_name
@@ -53,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--profile", action="store_true",
                        help="run under cProfile, print top-25 by cumulative time")
+        p.add_argument("--sanitize", action="store_true",
+                       help="enable the runtime sanitizer (protocol checkers "
+                       "+ invariant verification; same as REPRO_SANITIZE=1)")
 
     run_p = sub.add_parser("run", help="simulate one configuration")
     add_common(run_p)
@@ -95,11 +101,21 @@ def cmd_list() -> int:
     return 0
 
 
+def _base_config(args: argparse.Namespace) -> "SystemConfig":
+    """Base :class:`SystemConfig` honouring the ``--sanitize`` flag."""
+    from repro.sim.config import SystemConfig
+
+    return SystemConfig(sanitize=getattr(args, "sanitize", False))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Simulate one configuration and print its summary report."""
     from repro.stats.report import format_breakdown
 
-    runner = ExperimentRunner(events_per_core=args.events, seed=args.seed)
+    runner = ExperimentRunner(
+        events_per_core=args.events, seed=args.seed,
+        base_config=_base_config(args),
+    )
     scheme = by_name(args.scheme)
     policy = _POLICIES[args.policy]
     result = runner.run(args.workload, scheme, policy)
@@ -122,7 +138,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """Compare schemes on one workload, normalized to the baseline."""
-    runner = ExperimentRunner(events_per_core=args.events, seed=args.seed)
+    runner = ExperimentRunner(
+        events_per_core=args.events, seed=args.seed,
+        base_config=_base_config(args),
+    )
     policy = _POLICIES[args.policy]
     schemes = [by_name(s) for s in args.schemes]
     if BASELINE not in schemes:
@@ -157,7 +176,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _profiled(func, *args):
+def _profiled(func: Callable[..., int], *args: object) -> int:
     """Run ``func`` under cProfile; print the top 25 cumulative entries."""
     import cProfile
     import pstats
@@ -179,7 +198,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_list()
         command = dispatch.get(args.command)
         if command is None:
-            raise AssertionError(f"unhandled command {args.command!r}")
+            raise RuntimeError(f"unhandled command {args.command!r}")
         if getattr(args, "profile", False):
             return _profiled(command, args)
         return command(args)

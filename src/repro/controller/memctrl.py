@@ -720,7 +720,9 @@ class ChannelController:
                 hint = rank.next_refresh
         return (False, hint if hint > cycle else cycle + 1)
 
-    def _observe_pre(self, cycle, rank_idx, bank_idx, implicit=False) -> None:
+    def _observe_pre(
+        self, cycle: int, rank_idx: int, bank_idx: int, implicit: bool = False
+    ) -> None:
         if self.protocol_checker is not None:
             self.protocol_checker.observe(CommandRecord(
                 cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,

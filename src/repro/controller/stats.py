@@ -9,12 +9,12 @@ accountant's histogram).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence
 
 from repro.stats.histogram import LatencyHistogram
 
 
-@dataclass
+@dataclass(slots=True)
 class KindStats:
     """Per-request-kind (read/write) counters."""
 
@@ -51,7 +51,7 @@ class KindStats:
             self.latency_max = latency
         self.latency_hist.record(latency)
 
-    def record_services(self, latencies, hits: int, falses: int) -> None:
+    def record_services(self, latencies: Sequence[int], hits: int, falses: int) -> None:
         """Account a batch of served requests (one burst streak).
 
         Equivalent to ``len(latencies)`` calls to :meth:`record_service`
@@ -69,7 +69,7 @@ class KindStats:
         self.latency_hist.record_many(latencies)
 
 
-@dataclass
+@dataclass(slots=True)
 class ControllerStats:
     """All counters for one channel controller."""
 

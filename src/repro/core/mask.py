@@ -65,7 +65,7 @@ def word_indices(mask: int) -> "tuple[int, ...]":
     return tuple(i for i in range(WORDS_PER_LINE) if mask >> i & 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PRAMask:
     """Value-class wrapper over an 8-bit PRA mask.
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Scheme:
     """Static description of a row-activation scheme."""
 

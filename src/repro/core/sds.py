@@ -26,7 +26,7 @@ from repro.core.mask import popcount, word_indices
 from repro.dram.geometry import WORDS_PER_LINE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoreWidthModel:
     """Distribution of store widths (bytes) behind each dirty word.
 
@@ -55,7 +55,7 @@ class StoreWidthModel:
         return self.widths[-1][0]
 
 
-@dataclass
+@dataclass(slots=True)
 class GranularityComparison:
     """Average access granularity of both schemes over one mask stream."""
 

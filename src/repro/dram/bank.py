@@ -25,12 +25,15 @@ the state machine remains self-contained.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core import mask as mask_ops
 from repro.dram.geometry import FULL_MASK
 from repro.dram.soa import TimingCore
 from repro.dram.timing import TimingParams, derived_timing
+
+if TYPE_CHECKING:
+    from repro.dram.rank import Rank
 
 
 class BankStateError(RuntimeError):
@@ -78,7 +81,7 @@ class Bank:
         pending_autopre: bool = False,
         reserved_req: Optional[int] = None,
         *,
-        rank=None,
+        rank: "Optional[Rank]" = None,
         bank_index: int = 0,
         core: Optional[TimingCore] = None,
         rank_index: int = 0,

@@ -35,7 +35,7 @@ WORD_BYTES = 8
 FULL_MASK = (1 << WORDS_PER_LINE) - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChipGeometry:
     """Geometry of a single DRAM chip.
 
@@ -74,7 +74,7 @@ class ChipGeometry:
         return self.mats_per_subarray // 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SystemGeometry:
     """Geometry of the whole DRAM system (channels/ranks/chips).
 

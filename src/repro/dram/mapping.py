@@ -36,8 +36,11 @@ def _bits(value: int) -> int:
     return (value - 1).bit_length()
 
 
+# Derived bit-slice attributes are attached in __post_init__ via
+# object.__setattr__, which __slots__ would reject; one mapper exists
+# per System, so the per-instance __dict__ is not a hot-path cost.
 @dataclass(frozen=True)
-class AddressMapper:
+class AddressMapper:  # reprolint: allow[hygiene-slots]
     """Decodes byte addresses into (channel, rank, bank, row, column).
 
     ``column`` in the produced :class:`Address` is the *line-level*

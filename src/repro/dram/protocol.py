@@ -34,8 +34,47 @@ from repro.dram.geometry import FULL_MASK
 from repro.dram.timing import TimingParams
 
 
-class ProtocolViolation(AssertionError):
-    """A DDR3 timing or state rule was broken by the command stream."""
+#: Every rule name the checker can report (``ProtocolViolation.rule``).
+#: One negative test per entry lives in ``tests/test_protocol_negative.py``.
+RULES = (
+    "ACT-to-open-bank",
+    "tRCD",
+    "tRAS",
+    "tRP",
+    "tRC",
+    "tWR",
+    "tRTP",
+    "tCCD",
+    "tWTR",
+    "tRRD",
+    "tFAW",
+    "mask-coverage",
+    "mask-validity",
+    "mask-transfer-cycle",
+    "PRE-to-precharged-bank",
+    "column-to-precharged-bank",
+    "command-bus",
+    "data-bus",
+    "burst-window",
+    "REF-open-banks",
+    "tRFC",
+)
+
+
+class ProtocolViolation(Exception):
+    """A DDR3 timing or state rule was broken by the command stream.
+
+    Deliberately *not* an ``AssertionError``: violations must survive
+    ``python -O`` (which strips asserts) and must never be silenced by
+    test helpers that tolerate assertion failures.
+
+    ``rule`` carries the machine-readable rule name (one of
+    :data:`RULES`); the message adds the offending command and cycle.
+    """
+
+    def __init__(self, rule: str, message: str) -> None:
+        super().__init__(message)
+        self.rule = rule
 
 
 class Cmd(enum.Enum):
@@ -71,17 +110,23 @@ class CommandRecord:
     implicit: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _BankState:
     open_row: Optional[int] = None
     open_mask: int = FULL_MASK
     act_cycle: int = -(1 << 30)
     act_masked: bool = False
-    pre_ready_floor: int = 0      # tRAS/tWR/tRTP constraints
-    next_act_ok: int = 0          # tRP / tRC
+    # Precharge floors tracked per rule so a violation names the
+    # constraint that actually binds (tRAS vs tWR vs tRTP).
+    ras_floor: int = 0
+    wr_floor: int = 0
+    rtp_floor: int = 0
+    # Next-ACT floors, likewise split (tRP after PRE vs same-bank tRC).
+    trp_ready: int = 0
+    trc_ready: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _RankState:
     banks: Dict[int, _BankState] = field(default_factory=dict)
     act_history: List[Tuple[int, float]] = field(default_factory=list)
@@ -109,6 +154,7 @@ class ProtocolChecker:
         self.faw_budget = faw_budget
         self._ranks: Dict[int, _RankState] = {}
         self._cmd_bus_free = 0
+        self._cmd_bus_masked = False
         self._data_bus_free = 0
         self._data_bus_rank = -1
         self.commands_checked = 0
@@ -117,10 +163,12 @@ class ProtocolChecker:
     def _rank(self, idx: int) -> _RankState:
         return self._ranks.setdefault(idx, _RankState())
 
-    def _fail(self, record: CommandRecord, rule: str) -> None:
+    def _fail(self, record: CommandRecord, rule: str, detail: str = "") -> None:
         raise ProtocolViolation(
+            rule,
             f"{rule} violated by {record.cmd.value} at cycle {record.cycle} "
             f"(rank {record.rank}, bank {record.bank})"
+            + (f": {detail}" if detail else ""),
         )
 
     # ------------------------------------------------------------------
@@ -134,10 +182,15 @@ class ProtocolChecker:
 
         # Command bus: one command per cycle (2 for a masked ACT).
         if not record.implicit and cycle < self._cmd_bus_free:
-            self._fail(record, "command-bus exclusivity")
+            if self._cmd_bus_masked:
+                self._fail(
+                    record, "mask-transfer-cycle",
+                    "a masked ACT also owns the following command cycle",
+                )
+            self._fail(record, "command-bus")
 
         if cycle < rank.frozen_until:
-            self._fail(record, "tRFC (rank frozen by refresh)")
+            self._fail(record, "tRFC", "rank frozen by refresh")
 
         handler = {
             Cmd.ACT: self._check_act,
@@ -149,9 +202,9 @@ class ProtocolChecker:
         handler(record, rank)
 
         if not record.implicit:
-            self._cmd_bus_free = cycle + (
-                2 if record.cmd is Cmd.ACT and record.masked else 1
-            )
+            masked_act = record.cmd is Cmd.ACT and record.masked
+            self._cmd_bus_free = cycle + (2 if masked_act else 1)
+            self._cmd_bus_masked = masked_act
 
     # ------------------------------------------------------------------
     def _act_weight(self, granularity: int) -> float:
@@ -162,9 +215,12 @@ class ProtocolChecker:
         cycle = record.cycle
         bank = rank.bank(record.bank)
         if bank.open_row is not None:
-            self._fail(record, "ACT to an open bank")
-        if cycle < bank.next_act_ok:
-            self._fail(record, "tRP/tRC")
+            self._fail(record, "ACT-to-open-bank")
+        if cycle < bank.trp_ready or cycle < bank.trc_ready:
+            # Name whichever floor binds; on a tie report the classic
+            # same-bank cycle-time rule (tRC = tRAS + tRP on DDR3).
+            rule = "tRC" if bank.trc_ready >= bank.trp_ready else "tRP"
+            self._fail(record, rule)
         # tRRD against the previous ACT in this rank.
         trrd = t.trrd
         if self.relax:
@@ -184,47 +240,54 @@ class ProtocolChecker:
         rank.last_act_weight = weight
 
         if not 0 < record.mask <= FULL_MASK:
-            self._fail(record, "activation mask validity")
+            self._fail(record, "mask-validity")
         bank.open_row = record.row
         bank.open_mask = record.mask
         bank.act_cycle = cycle
         bank.act_masked = record.masked
-        bank.pre_ready_floor = cycle + t.tras
-        bank.next_act_ok = cycle + t.trc
+        bank.ras_floor = cycle + t.tras
+        bank.trc_ready = cycle + t.trc
 
     def _check_pre(self, record: CommandRecord, rank: _RankState) -> None:
         t = self.timing
         bank = rank.bank(record.bank)
         if bank.open_row is None:
-            self._fail(record, "PRE to a precharged bank")
-        if record.cycle < bank.pre_ready_floor:
-            self._fail(record, "tRAS/tWR/tRTP before PRE")
+            self._fail(record, "PRE-to-precharged-bank")
+        if record.cycle < max(bank.ras_floor, bank.wr_floor, bank.rtp_floor):
+            # Report the binding precharge floor by name.
+            floors = (
+                ("tRAS", bank.ras_floor),
+                ("tWR", bank.wr_floor),
+                ("tRTP", bank.rtp_floor),
+            )
+            rule = max(floors, key=lambda item: item[1])[0]
+            self._fail(record, rule, "precharge issued before its floor")
         bank.open_row = None
         bank.open_mask = FULL_MASK
-        bank.next_act_ok = max(bank.next_act_ok, record.cycle + t.trp)
+        bank.trp_ready = max(bank.trp_ready, record.cycle + t.trp)
 
     def _check_col(self, record: CommandRecord, rank: _RankState) -> None:
         t = self.timing
         cycle = record.cycle
         bank = rank.bank(record.bank)
         if bank.open_row is None:
-            self._fail(record, "column command to a precharged bank")
+            self._fail(record, "column-to-precharged-bank")
         trcd = t.trcd + (t.pra_extra if bank.act_masked else 0)
         if cycle - bank.act_cycle < trcd:
-            self._fail(record, "tRCD (+PRA mask cycle)")
+            self._fail(record, "tRCD", "+1 tCK after a masked PRA activation")
         if cycle < rank.next_col_ok:
             self._fail(record, "tCCD")
         if record.needed_mask & ~bank.open_mask:
-            self._fail(record, "MAT-group coverage (false-hit service)")
+            self._fail(record, "mask-coverage", "false-hit service (needed MAT group closed)")
         # Data bus exclusivity and rank switch penalty.
         start, end = record.burst_start, record.burst_end
         if start < cycle or end <= start:
-            self._fail(record, "burst window sanity")
+            self._fail(record, "burst-window", "burst window sanity")
         min_start = self._data_bus_free
         if self._data_bus_rank not in (-1, record.rank):
             min_start += t.trtrs
         if start < min_start:
-            self._fail(record, "data-bus exclusivity / tRTRS")
+            self._fail(record, "data-bus", "exclusivity / tRTRS")
         self._data_bus_free = end
         self._data_bus_rank = record.rank
 
@@ -232,15 +295,15 @@ class ProtocolChecker:
         if record.cmd is Cmd.RD:
             if cycle < rank.next_read_ok:
                 self._fail(record, "tWTR")
-            bank.pre_ready_floor = max(bank.pre_ready_floor, cycle + t.trtp)
+            bank.rtp_floor = max(bank.rtp_floor, cycle + t.trtp)
         else:
-            bank.pre_ready_floor = max(bank.pre_ready_floor, end + t.twr)
+            bank.wr_floor = max(bank.wr_floor, end + t.twr)
             rank.next_read_ok = max(rank.next_read_ok, end + t.twtr)
 
     def _check_ref(self, record: CommandRecord, rank: _RankState) -> None:
         for bank in rank.banks.values():
             if bank.open_row is not None:
-                self._fail(record, "REFRESH with open banks")
+                self._fail(record, "REF-open-banks", "REFRESH with open banks")
         rank.frozen_until = record.cycle + self.timing.trfc
         for bank in rank.banks.values():
-            bank.next_act_ok = max(bank.next_act_ok, rank.frozen_until)
+            bank.trp_ready = max(bank.trp_ready, rank.frozen_until)

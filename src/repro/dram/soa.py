@@ -30,6 +30,12 @@ from __future__ import annotations
 
 from repro.dram.geometry import FULL_MASK
 
+# Oracle-parity declaration enforced by reprolint: this module is the
+# array-backed fast path; the Bank/Rank object views are the oracle.
+REPRO_FAST_PATH = True
+ORACLE_TWIN = ("repro.dram.bank", "repro.dram.rank")
+ORACLE_TESTS = ("tests/test_engine_equivalence.py",)
+
 
 class TimingCore:
     """Flat per-(rank, bank) and per-rank timing state for one channel."""

@@ -18,7 +18,7 @@ from functools import lru_cache
 from typing import NamedTuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimingParams:
     """DRAM timing parameters in command-clock cycles."""
 

@@ -79,6 +79,12 @@ class SystemConfig:
     #: and transfers full bursts; PRA savings apply to data chips only.
     ecc_chips: int = 0
     seed: int = 1
+    #: Run under the runtime sanitizer (:mod:`repro.sim.sanitize`):
+    #: protocol checkers on every controller, snapshot-restore digest
+    #: verification and finalize-time invariant checks.  The
+    #: ``REPRO_SANITIZE`` environment variable enables the same thing
+    #: without touching configs.
+    sanitize: bool = False
 
     @property
     def effective_interleaving(self) -> Interleaving:
@@ -94,3 +100,8 @@ class SystemConfig:
 
     def with_policy(self, policy: RowPolicy) -> "SystemConfig":
         return replace(self, policy=policy)
+
+
+#: Short alias: ``SimConfig(sanitize=True)`` reads naturally at call
+#: sites that only care about the run-mode switches.
+SimConfig = SystemConfig

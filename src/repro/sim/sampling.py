@@ -14,7 +14,10 @@ exact regardless of jitter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.system import System
 
 from repro.power.accounting import CATEGORIES
 
@@ -60,7 +63,7 @@ class EpochSampler:
         self.samples: List[EpochSample] = []
         self._next_boundary = 0
 
-    def maybe_sample(self, cycle: int, system) -> None:
+    def maybe_sample(self, cycle: int, system: "System") -> None:
         """Record a sample if ``cycle`` crossed the next boundary."""
         if cycle < self._next_boundary:
             return
@@ -75,7 +78,7 @@ class EpochSampler:
             )
         )
 
-    def finalize(self, cycle: int, system) -> None:
+    def finalize(self, cycle: int, system: "System") -> None:
         """Force a final sample at the end of the run."""
         self._next_boundary = 0
         self.maybe_sample(cycle, system)

@@ -38,26 +38,84 @@ import os
 import pickle
 import tempfile
 from collections import OrderedDict
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.cache.hierarchy import CacheHierarchy
+    from repro.sim.config import SystemConfig
+    from repro.workloads.mixes import Workload
+
+#: Exported DBI registry: row key -> sorted dirty line tuple.
+DbiRows = Optional[Dict[Hashable, Tuple[int, ...]]]
 
 #: Snapshot format marker; bump to invalidate stale disk snapshots
 #: whenever the cache state layout or warmup semantics change.
-_FORMAT = "warm-v1"
+#: v2: snapshots may carry a capture-time state digest (sanitizer).
+_FORMAT = "warm-v2"
+
+# Oracle-parity declaration enforced by reprolint: restoring a warm
+# snapshot is the fast path; a cold warmup through the hierarchy
+# (``System._warm_caches`` / ``CacheHierarchy.warm_block``) is the
+# oracle it must match bit-for-bit.
+REPRO_FAST_PATH = True
+ORACLE_TWIN = "repro.sim.system.System._warm_caches"
+ORACLE_TESTS = ("tests/test_engine_equivalence.py",)
 
 
 class WarmSnapshot:
     """Post-warmup hierarchy state in compact picklable form."""
 
-    __slots__ = ("l2", "l1s", "dbi_rows")
+    __slots__ = ("l2", "l1s", "dbi_rows", "digest")
 
-    def __init__(self, l2: tuple, l1s: Optional[List[tuple]], dbi_rows) -> None:
-        """Bundle exported cache states plus the DBI registry."""
+    def __init__(
+        self,
+        l2: tuple,
+        l1s: Optional[List[tuple]],
+        dbi_rows: DbiRows,
+        digest: Optional[str] = None,
+    ) -> None:
+        """Bundle exported cache states plus the DBI registry.
+
+        ``digest`` is the optional capture-time state hash the runtime
+        sanitizer (:mod:`repro.sim.sanitize`) verifies restores
+        against; plain runs skip computing it.
+        """
         self.l2 = l2
         self.l1s = l1s
         self.dbi_rows = dbi_rows
+        self.digest = digest
 
 
-def warm_fingerprint(config, workload, seed: int, warmup_events_per_core: int):
+def _export(hierarchy: "CacheHierarchy") -> tuple:
+    """(l2, l1s, dbi_rows) export of a hierarchy's warm state."""
+    l1s = None
+    if hierarchy.l1s is not None:
+        l1s = [l1.export_state() for l1 in hierarchy.l1s]
+    dbi_rows = None
+    if hierarchy.dbi is not None:
+        dbi_rows = hierarchy.dbi.export_rows()
+    return hierarchy.l2.export_state(), l1s, dbi_rows
+
+
+def state_digest(hierarchy: "CacheHierarchy") -> str:
+    """SHA-256 over a hierarchy's exported warm state.
+
+    Pickle of the export is deterministic for identical state
+    (insertion order of the tag dicts is part of the export), so equal
+    digests mean bit-identical cache contents.
+    """
+    exported = _export(hierarchy)
+    return hashlib.sha256(
+        pickle.dumps(exported, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+
+
+def warm_fingerprint(
+    config: "SystemConfig",
+    workload: "Workload",
+    seed: int,
+    warmup_events_per_core: int,
+) -> tuple:
     """Hashable identity of everything that shapes warm cache state.
 
     Deliberately *excludes* scheme timing/power flags, row policy and
@@ -92,18 +150,27 @@ def warm_fingerprint(config, workload, seed: int, warmup_events_per_core: int):
     )
 
 
-def capture_warm_state(hierarchy) -> WarmSnapshot:
-    """Export a just-warmed hierarchy into a :class:`WarmSnapshot`."""
-    l1s = None
-    if hierarchy.l1s is not None:
-        l1s = [l1.export_state() for l1 in hierarchy.l1s]
-    dbi_rows = None
-    if hierarchy.dbi is not None:
-        dbi_rows = hierarchy.dbi.export_rows()
-    return WarmSnapshot(hierarchy.l2.export_state(), l1s, dbi_rows)
+def capture_warm_state(
+    hierarchy: "CacheHierarchy", with_digest: bool = False
+) -> WarmSnapshot:
+    """Export a just-warmed hierarchy into a :class:`WarmSnapshot`.
+
+    ``with_digest`` also stamps the state hash that sanitized runs
+    verify restores against (skipped by default: hashing the whole LLC
+    export is pure overhead when nothing will check it).
+    """
+    l2, l1s, dbi_rows = _export(hierarchy)
+    digest = None
+    if with_digest:
+        digest = hashlib.sha256(
+            pickle.dumps((l2, l1s, dbi_rows), protocol=pickle.HIGHEST_PROTOCOL)
+        ).hexdigest()
+    return WarmSnapshot(l2, l1s, dbi_rows, digest)
 
 
-def restore_warm_state(hierarchy, snapshot: WarmSnapshot) -> None:
+def restore_warm_state(
+    hierarchy: "CacheHierarchy", snapshot: WarmSnapshot
+) -> None:
     """Copy a snapshot into a freshly built (cold) hierarchy.
 
     Restore is copy-in, so the snapshot stays pristine in the cache

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
 from itertools import islice
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.sampling import EpochSampler
 
 from repro.cache.dbi import DirtyBlockIndex
 from repro.cache.hierarchy import CacheHierarchy
@@ -36,6 +39,12 @@ from repro.dram.mapping import AddressMapper
 from repro.power.accounting import PowerAccountant
 from repro.sim.config import SystemConfig
 from repro.sim.results import CoreResult, SimResult
+from repro.sim.sanitize import (
+    attach_checkers,
+    check_finalize,
+    sanitize_enabled,
+    verify_restore,
+)
 from repro.sim.snapshot import (
     SNAPSHOTS,
     capture_warm_state,
@@ -49,6 +58,13 @@ from repro.workloads.synthetic import TraceGenerator, compiled_trace
 #: Total overflow-buffer entries beyond which cores are held back.
 OVERFLOW_STALL_THRESHOLD = 128
 
+# Oracle-parity declaration enforced by reprolint: the event-driven
+# ``System.run`` is the fast path; ``System._run_polling`` is the
+# scan-everything oracle both engines must agree with bit-for-bit.
+REPRO_FAST_PATH = True
+ORACLE_TWIN = "repro.sim.system.System._run_polling"
+ORACLE_TESTS = ("tests/test_engine_equivalence.py",)
+
 
 class System:
     """One simulatable platform instance."""
@@ -60,7 +76,7 @@ class System:
         events_per_core: int,
         seed: Optional[int] = None,
         warmup_events_per_core: Optional[int] = None,
-        sampler=None,
+        sampler: "Optional[EpochSampler]" = None,
         trace_overrides: Optional[List] = None,
         *,
         precompiled_traces: bool = True,
@@ -140,6 +156,13 @@ class System:
             )
             for channel in self.channels
         ]
+        #: Runtime sanitizer (REPRO_SANITIZE=1 or config.sanitize):
+        #: protocol checkers on every controller plus restore/finalize
+        #: invariant verification.  Off by default — no checker is
+        #: attached, so the scheduling hot path is unchanged.
+        self._sanitize = sanitize_enabled(config)
+        if self._sanitize:
+            attach_checkers(self)
 
         cache_cfg = config.cache
         l2 = SetAssociativeCache(cache_cfg.llc_bytes, cache_cfg.llc_ways, name="L2")
@@ -172,7 +195,7 @@ class System:
         core_cfg = config.core
         self.cores: List[Core] = []
 
-        def _make_core(core_id: int, trace) -> Core:
+        def _make_core(core_id: int, trace: Iterator[TraceEvent]) -> Core:
             return Core(
                 core_id=core_id,
                 trace=trace,
@@ -198,6 +221,8 @@ class System:
                 if snapshot is not None:
                     restore_warm_state(self.hierarchy, snapshot)
                     self.snapshot_restored = True
+                    if self._sanitize:
+                        verify_restore(self.hierarchy, snapshot)
             if not self.snapshot_restored:
                 for core_id, blocks in enumerate(blocks_per_core):
                     blocks.ensure(warmup_events_per_core)
@@ -210,7 +235,11 @@ class System:
                     )
                 if use_snapshots:
                     SNAPSHOTS.store(
-                        key, capture_warm_state(self.hierarchy), disk_dir
+                        key,
+                        capture_warm_state(
+                            self.hierarchy, with_digest=self._sanitize
+                        ),
+                        disk_dir,
                     )
             for core_id, blocks in enumerate(blocks_per_core):
                 self.cores.append(
@@ -239,7 +268,9 @@ class System:
         self.sampler = sampler
 
     # ------------------------------------------------------------------
-    def _warm_caches(self, core_id: int, stream, events: int) -> None:
+    def _warm_caches(
+        self, core_id: int, stream: Iterator[TraceEvent], events: int
+    ) -> None:
         """Play ``events`` through the hierarchy without timing."""
         access = self.hierarchy.access
         for _ in range(events):
@@ -547,6 +578,8 @@ class System:
         merged = ControllerStats()
         for ctrl in self.controllers:
             merged.merge(ctrl.stats)
+        if self._sanitize:
+            check_finalize(self, merged)
         core_results = []
         for core, profile in zip(self.cores, self.workload.apps):
             finish = core.finish_cycle if core.finish_cycle is not None else end_cycle

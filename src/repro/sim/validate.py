@@ -14,8 +14,12 @@ from repro.power.accounting import CATEGORIES
 from repro.sim.results import SimResult
 
 
-class ValidationError(AssertionError):
-    """A finished run failed a consistency check."""
+class ValidationError(Exception):
+    """A finished run failed a consistency check.
+
+    A real ``Exception`` (not ``AssertionError``) so the audit still
+    fires under ``python -O``.
+    """
 
 
 def validate_result(result: SimResult, chips: int = 32) -> List[str]:

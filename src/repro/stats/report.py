@@ -29,7 +29,7 @@ def format_table(
     if not headers:
         raise ValueError("need at least one column")
 
-    def cell(value) -> str:
+    def cell(value: object) -> str:
         if isinstance(value, float):
             return f"{value:.{float_digits}f}"
         return str(value)

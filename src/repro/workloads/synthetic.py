@@ -37,6 +37,13 @@ from typing import Iterator, List, Optional, Tuple
 from repro.cpu.trace import TraceEvent
 from repro.workloads.profiles import BenchmarkProfile
 
+# Oracle-parity declaration enforced by reprolint: the precompiled
+# ``TraceBlocks`` arrays are the fast path; the per-event
+# ``TraceGenerator`` iterator in this module is the oracle.
+REPRO_FAST_PATH = True
+ORACLE_TWIN = "repro.workloads.synthetic.TraceGenerator"
+ORACLE_TESTS = ("tests/test_trace_blocks.py",)
+
 #: Line-address stride between per-core memory regions (1 GB).
 REGION_LINES = 1 << 24
 

@@ -13,7 +13,10 @@ Loads have ``write_mask`` 0.  Lines starting with ``#`` are comments.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.workloads.mixes import Workload
 
 from repro.cpu.trace import TraceEvent
 
@@ -113,7 +116,7 @@ class FileTraceWorkload:
     def num_cores(self) -> int:
         return len(self.paths)
 
-    def as_workload(self, name: str = "file-trace"):
+    def as_workload(self, name: str = "file-trace") -> "Workload":
         """Build a Workload naming each core after its trace file."""
         from types import SimpleNamespace
 

@@ -1,0 +1,21 @@
+"""Fixture: a module that violates nothing (exit-0 control)."""
+# reprolint: hot-path
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Event:
+    """Slotted per-event record."""
+
+    cycle: int
+
+
+def draw(seed: int) -> int:
+    """Seeded instance RNG plus sorted set iteration: all legal."""
+    rng = random.Random(seed)
+    total = 0
+    for tag in sorted({"a", "b"}):
+        total += rng.randrange(8) + len(tag)
+    return total

@@ -1,0 +1,12 @@
+"""Fixture: determinism-float-energy (ad-hoc energy accumulation)."""
+
+
+class RogueCounter:
+    """Accumulates energy outside repro/power, breaking centralization."""
+
+    def __init__(self) -> None:
+        self.energy_pj = 0.0
+
+    def add_burst(self, pj: float) -> None:
+        """Float += into an energy counter away from the accountant."""
+        self.energy_pj += pj * 0.5

@@ -1,0 +1,8 @@
+"""Fixture: determinism-global-random (module-global RNG call)."""
+
+import random
+
+
+def jitter(base: int) -> int:
+    """Draw from the process-global RNG — irreproducible across runs."""
+    return base + random.randrange(8)

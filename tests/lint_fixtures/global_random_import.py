@@ -1,0 +1,8 @@
+"""Fixture: determinism-global-random (from-import of the global RNG)."""
+
+from random import randrange
+
+
+def jitter(base: int) -> int:
+    """Same global-RNG dependence, hidden behind a bare name."""
+    return base + randrange(8)

@@ -1,0 +1,7 @@
+"""Fixture: hygiene-mutable-default (shared-state default argument)."""
+
+
+def collect(value: int, into: list = []) -> list:
+    """The default list is shared across every call site."""
+    into.append(value)
+    return into

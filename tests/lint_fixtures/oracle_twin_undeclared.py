@@ -1,0 +1,5 @@
+"""Fixture: oracle-twin-undeclared (dangling ORACLE_TWIN target)."""
+
+REPRO_FAST_PATH = True
+ORACLE_TWIN = "ghost.oracle.module"
+ORACLE_TESTS = ("tests/test_reprolint.py",)

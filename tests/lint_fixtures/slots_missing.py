@@ -1,0 +1,12 @@
+"""Fixture: hygiene-slots (hot-path dataclass with a __dict__)."""
+# reprolint: hot-path
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PerEventRecord:
+    """Created per event; pays an unnecessary __dict__ without slots."""
+
+    cycle: int
+    value: int

@@ -1,0 +1,13 @@
+"""Fixture: hygiene-try-in-loop (exception frame in a per-cycle loop)."""
+# reprolint: hot-path
+
+
+def drain(queue: list) -> int:
+    """Sets up a try frame every iteration of the inner loop."""
+    served = 0
+    for item in queue:
+        try:
+            served += item
+        except TypeError:
+            pass
+    return served

@@ -1,0 +1,9 @@
+"""Fixture: determinism-unordered-iter (hash-order dependent loop)."""
+
+
+def merge(results: list) -> list:
+    """Iterates a set literal — order is hash-seed dependent."""
+    merged = []
+    for tag in {"reads", "writes", "refreshes"}:
+        merged.append((tag, results))
+    return merged

@@ -1,0 +1,8 @@
+"""Fixture: determinism-wallclock (host clock read inside sim code)."""
+
+import time
+
+
+def stamp() -> float:
+    """Wall-clock timestamps differ per run; sim results must not."""
+    return time.perf_counter()

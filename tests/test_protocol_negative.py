@@ -1,0 +1,219 @@
+"""One negative test per documented protocol rule.
+
+:data:`repro.dram.protocol.RULES` enumerates every rule name the
+checker can attach to a :class:`ProtocolViolation`.  For each entry
+this module crafts a minimal command stream that breaks exactly that
+rule and asserts the violation carries the *machine-readable* rule
+name (``exc.rule``), not just a matching message — the runtime
+sanitizer and debugging tools dispatch on that field.
+
+The parametrization iterates ``RULES`` itself, so adding a rule to the
+checker without adding a provocation here fails the suite.
+"""
+
+import pytest
+
+from repro.dram.geometry import FULL_MASK
+from repro.dram.protocol import (
+    Cmd,
+    CommandRecord,
+    ProtocolChecker,
+    ProtocolViolation,
+    RULES,
+)
+from repro.dram.timing import DDR3_1600
+
+T = DDR3_1600
+
+
+def act(cycle, rank=0, bank=0, row=1, mask=FULL_MASK, granularity=8,
+        masked=False):
+    return CommandRecord(cycle=cycle, cmd=Cmd.ACT, rank=rank, bank=bank,
+                         row=row, mask=mask, granularity=granularity,
+                         masked=masked)
+
+
+def rd(cycle, rank=0, bank=0, needed=FULL_MASK, start=None, end=None):
+    start = cycle + T.tcas if start is None else start
+    end = start + T.tburst if end is None else end
+    return CommandRecord(cycle=cycle, cmd=Cmd.RD, rank=rank, bank=bank,
+                         burst_start=start, burst_end=end, needed_mask=needed)
+
+
+def wr(cycle, rank=0, bank=0, needed=FULL_MASK):
+    start = cycle + T.tcwl
+    return CommandRecord(cycle=cycle, cmd=Cmd.WR, rank=rank, bank=bank,
+                         burst_start=start, burst_end=start + T.tburst,
+                         needed_mask=needed)
+
+
+def pre(cycle, rank=0, bank=0):
+    return CommandRecord(cycle=cycle, cmd=Cmd.PRE, rank=rank, bank=bank)
+
+
+def ref(cycle, rank=0):
+    return CommandRecord(cycle=cycle, cmd=Cmd.REF, rank=rank)
+
+
+# ----------------------------------------------------------------------
+# rule name -> command stream whose *last* command breaks exactly it
+# ----------------------------------------------------------------------
+def _s_act_to_open_bank():
+    return [act(0), act(T.trc, row=2)]
+
+
+def _s_trcd():
+    return [act(0), rd(T.trcd - 1)]
+
+
+def _s_tras():
+    return [act(0), pre(T.tras - 1)]
+
+
+def _s_trp():
+    # Delay the PRE so tRP (PRE + tRP) binds strictly later than the
+    # same-bank tRC floor; the next ACT then violates tRP alone.
+    return [act(0), pre(T.tras + 5), act(T.tras + 5 + T.trp - 1, row=2)]
+
+
+def _s_trc():
+    # Legal earliest PRE: tRP and tRC expire together (tRC = tRAS+tRP
+    # on DDR3); the tie is reported as the classic cycle-time rule.
+    return [act(0), pre(T.tras), act(T.trc - 1, row=2)]
+
+
+def _s_twr():
+    write = wr(T.trcd)
+    return [act(0), write, pre(write.burst_end + T.twr - 1)]
+
+
+def _s_trtp():
+    # A late read pushes the read-to-precharge floor past tRAS.
+    read = rd(T.tras + 2)
+    return [act(0), read, pre(read.cycle + T.trtp - 1)]
+
+
+def _s_tccd():
+    return [act(0), rd(T.trcd), rd(T.trcd + T.tccd - 1)]
+
+
+def _s_twtr():
+    write = wr(T.trcd)
+    return [act(0), write, rd(write.cycle + T.tccd + 1)]
+
+
+def _s_trrd():
+    return [act(0, bank=0), act(T.trrd - 1, bank=1)]
+
+
+def _s_tfaw():
+    stream = [act(i * T.trrd, bank=i) for i in range(4)]
+    stream.append(act(4 * T.trrd, bank=4))
+    return stream
+
+
+def _s_mask_coverage():
+    return [act(0, mask=0b1, masked=True, granularity=1),
+            wr(T.trcd + 1, needed=0b10)]
+
+
+def _s_mask_validity():
+    return [act(0, mask=0)]
+
+
+def _s_mask_transfer_cycle():
+    # A masked ACT owns the following (mask-transfer) command cycle.
+    return [act(0, mask=0b1, masked=True, granularity=1), act(1, bank=1)]
+
+
+def _s_pre_to_precharged_bank():
+    return [pre(0)]
+
+
+def _s_column_to_precharged_bank():
+    return [rd(0)]
+
+
+def _s_command_bus():
+    return [act(0, bank=0), act(0, bank=1)]
+
+
+def _s_data_bus():
+    # Second read's burst starts before the first one's has drained.
+    first = rd(T.trcd, bank=0)
+    return [act(0, bank=0), act(T.trrd, bank=1), first,
+            rd(T.trcd + T.tccd + 1, bank=1,
+               start=first.burst_end - 1, end=first.burst_end + 3)]
+
+
+def _s_burst_window():
+    return [act(0), rd(T.trcd, start=T.trcd - 1, end=T.trcd + 3)]
+
+
+def _s_ref_open_banks():
+    return [act(0), ref(1)]
+
+
+def _s_trfc():
+    return [ref(0), act(T.trfc - 1)]
+
+
+PROVOCATIONS = {
+    "ACT-to-open-bank": _s_act_to_open_bank,
+    "tRCD": _s_trcd,
+    "tRAS": _s_tras,
+    "tRP": _s_trp,
+    "tRC": _s_trc,
+    "tWR": _s_twr,
+    "tRTP": _s_trtp,
+    "tCCD": _s_tccd,
+    "tWTR": _s_twtr,
+    "tRRD": _s_trrd,
+    "tFAW": _s_tfaw,
+    "mask-coverage": _s_mask_coverage,
+    "mask-validity": _s_mask_validity,
+    "mask-transfer-cycle": _s_mask_transfer_cycle,
+    "PRE-to-precharged-bank": _s_pre_to_precharged_bank,
+    "column-to-precharged-bank": _s_column_to_precharged_bank,
+    "command-bus": _s_command_bus,
+    "data-bus": _s_data_bus,
+    "burst-window": _s_burst_window,
+    "REF-open-banks": _s_ref_open_banks,
+    "tRFC": _s_trfc,
+}
+
+
+def test_every_documented_rule_has_a_provocation():
+    """The table above covers RULES exactly (no drift either way)."""
+    assert set(PROVOCATIONS) == set(RULES)
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_rule_fires_with_its_name(rule):
+    """The last command of the stream trips exactly the named rule."""
+    stream = PROVOCATIONS[rule]()
+    checker = ProtocolChecker(T)
+    for record in stream[:-1]:
+        checker.observe(record)  # prefix must be legal
+    with pytest.raises(ProtocolViolation) as exc:
+        checker.observe(stream[-1])
+    assert exc.value.rule == rule
+    assert rule in str(exc.value)
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_rule_prefix_is_legal_and_boundary_passes(rule):
+    """Dropping the offending command leaves a clean stream."""
+    stream = PROVOCATIONS[rule]()
+    checker = ProtocolChecker(T)
+    for record in stream[:-1]:
+        checker.observe(record)
+    assert checker.commands_checked == len(stream) - 1
+
+
+def test_violation_is_not_an_assertion():
+    """Violations must survive ``python -O`` (satellite requirement)."""
+    assert issubclass(ProtocolViolation, Exception)
+    assert not issubclass(ProtocolViolation, AssertionError)
+    violation = ProtocolViolation("tRCD", "boom")
+    assert violation.rule == "tRCD"
