@@ -8,6 +8,13 @@ Run length defaults to a laptop-friendly size; set ``REPRO_EVENTS``
 (memory instructions per core) to scale fidelity up, e.g.::
 
     REPRO_EVENTS=20000 pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_POOL`` to a worker count to run every figure suite's
+simulations through one persistent :class:`repro.sim.pool.SimPool`:
+the warm workers keep snapshot and trace-block caches across all 21
+benchmark modules (results are bit-identical to in-process runs)::
+
+    REPRO_POOL=4 pytest benchmarks/ --benchmark-only -s
 """
 
 import os
@@ -15,6 +22,7 @@ import os
 import pytest
 
 from repro.sim.config import SystemConfig
+from repro.sim.pool import SimPool
 from repro.sim.runner import ExperimentRunner
 from repro.workloads.mixes import ALL_WORKLOADS, Workload
 from repro.workloads.profiles import BENCHMARKS, profile
@@ -22,17 +30,33 @@ from repro.workloads.profiles import BENCHMARKS, profile
 #: Default memory instructions per core for benchmark runs.
 BENCH_EVENTS = int(os.environ.get("REPRO_EVENTS", "5000"))
 
+#: Persistent-pool worker count for the whole benchmark session
+#: (0 = serial in-process, the default).
+POOL_WORKERS = int(os.environ.get("REPRO_POOL", "0"))
+
 #: The paper's 14 multiprogrammed workloads, in presentation order.
 WORKLOAD_ORDER = list(BENCHMARKS) + [f"MIX{i}" for i in range(1, 7)]
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    return ExperimentRunner(events_per_core=BENCH_EVENTS, base_config=SystemConfig())
+def sim_pool():
+    """One warm worker pool shared by every benchmark module."""
+    if POOL_WORKERS < 1:
+        yield None
+        return
+    with SimPool(workers=POOL_WORKERS) as pool:
+        yield pool
+
+
+@pytest.fixture(scope="session")
+def runner(sim_pool) -> ExperimentRunner:
+    return ExperimentRunner(
+        events_per_core=BENCH_EVENTS,
+        base_config=SystemConfig(),
+        pool=sim_pool,
+    )
 
 
 def single_core(name: str) -> Workload:
     """Single instance of a benchmark (Table 1 / Figs 2-3 methodology)."""
     return Workload(name=f"{name}-1core", apps=(profile(name),))
-
-

@@ -83,8 +83,12 @@ def test_throughput_per_scheme(scheme):
     print(f"\n  {scheme.name:<10} {best:,.0f} req/s best-of-3 "
           f"({served} served, {cycles} cycles)")
     assert served > 0
-    # Same tripwire as the main benchmark, per scheme.
-    assert best > 4000
+    # Per-scheme tripwire, tighter than the main benchmark's: every
+    # scheme sustains ~10-12k req/s on a 1-core container (the PRA
+    # write path now rides the queue's per-row OR aggregates instead
+    # of bucket walks), so 6000 still leaves ~2x headroom for slower
+    # CI machines while catching any per-scheme regression.
+    assert best > 6000
 
     results = {}
     if RESULTS_PATH.exists():

@@ -1,0 +1,114 @@
+"""Meta-benchmark: whole-sweep throughput, cold-spawn vs warm pool.
+
+Not a paper figure — this measures the sweep *service* itself: a
+24-point grid (6 schemes x 4 workloads) executed
+
+* on a throwaway ``multiprocessing`` pool under the **spawn** start
+  method — every worker pays the full cold start (interpreter boot,
+  package import, trace-block compilation, one warmup replay per warm
+  fingerprint it encounters), the cost every fresh sweep invocation
+  pays; versus
+* on a persistent :class:`repro.sim.pool.SimPool` whose workers are
+  already **warm** — snapshot and trace caches populated by an earlier
+  batch, fingerprint-grouped scheduling keeping them hot — the steady
+  state of the benchmark conftest, ``repro bench`` and repeated
+  ``Sweep.run(pool=...)`` calls.
+
+Both arms (and the serial oracle) must produce row-for-row identical
+grids; the speedup and absolute points/sec land in the ``_sweep``
+section of ``BENCH_throughput.json`` so CI archives them per commit.
+The floor is 3x locally; CI sets ``REPRO_SWEEP_SPEEDUP_FLOOR=2`` to
+absorb shared-runner jitter.
+"""
+
+import json
+import os
+import time
+
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.pool import SimPool
+from repro.sim.snapshot import SNAPSHOTS
+from repro.sim.sweep import Sweep
+
+from test_simulator_throughput import RESULTS_PATH
+
+#: Kept small so the grid is warmup-dominated, like real sensitivity
+#: sweeps at screening fidelity: the warm-state reuse the pool provides
+#: is exactly what separates the two arms.
+EVENTS = 100
+WARMUP = 12000
+WORKERS = 2
+
+SCHEMES = ["Baseline", "FGA", "Half-DRAM", "PRA", "SDS", "DBI+PRA"]
+WORKLOADS = ["GUPS", "MIX1", "MIX2", "LinkedList"]
+POLICIES = ["relaxed"]
+
+
+def make_sweep() -> Sweep:
+    sweep = Sweep(
+        events_per_core=EVENTS,
+        base_config=SystemConfig(cache=CacheConfig(llc_bytes=512 * 1024)),
+        warmup_events_per_core=WARMUP,
+    )
+    sweep.add_axis("scheme", SCHEMES)
+    sweep.add_axis("workload", WORKLOADS)
+    sweep.add_axis("policy", POLICIES)
+    return sweep
+
+
+def test_sweep_pool_speedup():
+    """Warm-pool sweep vs cold-spawn sweep on the same 24-point grid."""
+    floor = float(os.environ.get("REPRO_SWEEP_SPEEDUP_FLOOR", "3.0"))
+    points = len(SCHEMES) * len(WORKLOADS) * len(POLICIES)
+
+    # Serial oracle (also the bit-identity reference for both arms).
+    serial_rows = make_sweep().run()
+
+    # Cold arm: throwaway pool, spawn start method — each worker is a
+    # fresh interpreter with empty caches, as in a fresh CLI/CI
+    # invocation.  Parent caches are irrelevant to spawned children but
+    # are cleared anyway so the arm never depends on test order.
+    SNAPSHOTS.clear()
+    cold_sweep = make_sweep()
+    t0 = time.perf_counter()
+    cold_rows = cold_sweep.run(workers=WORKERS, mp_start="spawn")
+    cold_s = time.perf_counter() - t0
+
+    # Warm arm: a persistent pool that has already served one batch
+    # (the steady state of the benchmark session / repeated sweeps).
+    with SimPool(workers=WORKERS) as pool:
+        make_sweep().run(pool=pool)  # warms worker caches; untimed
+        t0 = time.perf_counter()
+        pooled_rows = make_sweep().run(pool=pool)
+        pooled_s = time.perf_counter() - t0
+
+    assert cold_rows == serial_rows
+    assert pooled_rows == serial_rows
+    speedup = cold_s / pooled_s
+
+    print()
+    print(f"=== Sweep service ({points} points, {WORKERS} workers) ===")
+    print(f"  cold spawn     {cold_s:6.2f} s  ({points / cold_s:6.1f} points/s)")
+    print(f"  warm pool      {pooled_s:6.2f} s  ({points / pooled_s:6.1f} points/s)")
+    print(f"  speedup        {speedup:6.2f}x  (floor {floor}x)")
+
+    results = {}
+    if RESULTS_PATH.exists():
+        try:
+            results = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            results = {}
+    results["_sweep"] = {
+        "grid_points": points,
+        "workers": WORKERS,
+        "events_per_core": EVENTS,
+        "warmup_events_per_core": WARMUP,
+        "cold_spawn_seconds": round(cold_s, 3),
+        "cold_spawn_points_per_second": round(points / cold_s, 2),
+        "pooled_seconds": round(pooled_s, 3),
+        "pooled_points_per_second": round(points / pooled_s, 2),
+        "pooled_speedup": round(speedup, 2),
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    assert speedup >= floor

@@ -33,6 +33,7 @@ FAST_PATH_MODULES = frozenset(
         "src/repro/workloads/synthetic.py",
         "src/repro/sim/snapshot.py",
         "src/repro/sim/system.py",
+        "src/repro/sim/pool.py",
     }
 )
 

@@ -9,12 +9,21 @@ Commands
     Simulate one (workload, scheme, policy) and print the summary.
 ``compare``
     Run several schemes on one workload and print normalized results.
+``sweep``
+    Run a grid and export CSV/JSON (``--pool N`` for a persistent
+    warm worker pool, ``--workers N`` for a throwaway process pool).
+``bench``
+    Drive a whole figure suite (scheme x workload grid) through one
+    persistent pool and print points/sec plus normalized summaries.
 
 Examples::
 
     python -m repro list
     python -m repro run --workload GUPS --scheme PRA --events 4000
     python -m repro compare --workload MIX1 --schemes Baseline FGA Half-DRAM PRA
+    python -m repro sweep --schemes Baseline PRA --workloads GUPS MIX1 \
+        --pool 4 --out grid.csv
+    python -m repro bench --suite fig12 --pool 4
 """
 
 from __future__ import annotations
@@ -35,6 +44,15 @@ _POLICIES = {
     "relaxed": RowPolicy.RELAXED_CLOSE,
     "restricted": RowPolicy.RESTRICTED_CLOSE,
     "open": RowPolicy.OPEN_PAGE,
+}
+
+#: ``repro bench`` suites: scheme set per figure; every suite crosses
+#: its schemes with all 14 evaluation workloads except ``quick``.
+_BENCH_SUITES = {
+    "quick": (["Baseline", "PRA"], ["GUPS", "MIX1"]),
+    "fig12": (["Baseline", "FGA", "Half-DRAM", "PRA"], None),
+    "fig13": (["Baseline", "FGA", "Half-DRAM", "PRA"], None),
+    "fig15": (["Baseline", "DBI", "PRA", "DBI+PRA"], None),
 }
 
 
@@ -82,8 +100,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=1)
     sweep_p.add_argument("--out", required=True,
                          help="output path (.csv or .json)")
+    sweep_p.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="fan grid points over a throwaway process pool")
+    sweep_p.add_argument("--pool", type=int, default=0, metavar="N",
+                         help="run the grid on a persistent pool of N warm "
+                         "workers (fingerprint-grouped scheduling)")
     sweep_p.add_argument("--profile", action="store_true",
                          help="run under cProfile, print top-25 by cumulative time")
+
+    bench_p = sub.add_parser(
+        "bench", help="drive a whole figure suite through one warm pool"
+    )
+    bench_p.add_argument("--suite", choices=sorted(_BENCH_SUITES),
+                         default="fig12",
+                         help="which figure's (scheme x workload) grid to run")
+    bench_p.add_argument("--events", type=int, default=2000,
+                         help="memory instructions per core")
+    bench_p.add_argument("--policy", choices=sorted(_POLICIES), default="relaxed")
+    bench_p.add_argument("--seed", type=int, default=1)
+    bench_p.add_argument("--pool", type=int, default=2, metavar="N",
+                         help="persistent pool workers (0 = serial in-process)")
+    bench_p.add_argument("--sanitize", action="store_true",
+                         help="enable the runtime sanitizer")
     return parser
 
 
@@ -167,12 +205,78 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sweep.add_axis("scheme", args.schemes)
     sweep.add_axis("workload", args.workloads)
     sweep.add_axis("policy", args.policies)
-    rows = sweep.run()
+    if args.pool:
+        from repro.sim.pool import SimPool
+
+        with SimPool(workers=args.pool) as pool:
+            rows = sweep.run(pool=pool)
+    else:
+        rows = sweep.run(workers=args.workers)
     if args.out.endswith(".json"):
         sweep.to_json(args.out)
     else:
         sweep.to_csv(args.out)
     print(f"wrote {len(rows)} rows to {args.out}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Drive one figure suite's full grid through a single warm pool."""
+    import time
+
+    from repro.sim.runner import ExperimentRunner, arithmetic_mean
+
+    scheme_names, workload_names = _BENCH_SUITES[args.suite]
+    if workload_names is None:
+        workload_names = list(ALL_WORKLOADS)
+    schemes = [by_name(name) for name in scheme_names]
+    policy = _POLICIES[args.policy]
+    specs = [
+        (wl_name, scheme, policy)
+        for wl_name in workload_names
+        for scheme in schemes
+    ]
+
+    pool = None
+    if args.pool:
+        from repro.sim.pool import SimPool
+
+        pool = SimPool(workers=args.pool)
+    try:
+        runner = ExperimentRunner(
+            events_per_core=args.events, seed=args.seed,
+            base_config=_base_config(args), pool=pool,
+        )
+        start = time.perf_counter()  # reprolint: allow[determinism-wallclock]
+        results = runner.run_many(specs)
+        elapsed = time.perf_counter() - start  # reprolint: allow[determinism-wallclock]
+    finally:
+        if pool is not None:
+            pool.close()
+
+    by_point = {
+        (spec[0], spec[1].name): result for spec, result in zip(specs, results)
+    }
+    mode = f"pool({args.pool})" if args.pool else "serial"
+    print(f"{args.suite}: {len(specs)} points, {len(workload_names)} workloads "
+          f"x {len(schemes)} schemes ({policy.value}, "
+          f"{args.events} events/core, {mode})")
+    print(f"  wall time    {elapsed:8.2f} s")
+    print(f"  points/sec   {len(specs) / elapsed:8.2f}")
+    header = f"{'scheme':<14}{'power':>8}{'energy':>8}{'EDP':>8}"
+    print(header)
+    print("-" * len(header))
+    for scheme in schemes:
+        powers, energies, edps = [], [], []
+        for wl_name in workload_names:
+            result = by_point[(wl_name, scheme.name)]
+            base = by_point[(wl_name, "Baseline")]
+            powers.append(result.avg_power_mw / base.avg_power_mw)
+            energies.append(result.total_energy_mj / base.total_energy_mj)
+            edps.append(result.edp / base.edp)
+        print(f"{scheme.name:<14}{arithmetic_mean(powers):>8.3f}"
+              f"{arithmetic_mean(energies):>8.3f}"
+              f"{arithmetic_mean(edps):>8.3f}")
     return 0
 
 
@@ -192,7 +296,12 @@ def _profiled(func: Callable[..., int], *args: object) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    dispatch = {"run": cmd_run, "compare": cmd_compare, "sweep": cmd_sweep}
+    dispatch = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "sweep": cmd_sweep,
+        "bench": cmd_bench,
+    }
     try:
         if args.command == "list":
             return cmd_list()

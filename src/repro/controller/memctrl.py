@@ -801,10 +801,20 @@ class ChannelController:
         core = self._core
         if core.accesses[g] >= self.row_hit_cap:
             return False
-        dq = primary._by_row.get(self._keybase[g] | core.open_row[g])
-        if not dq:
+        packed = self._keybase[g] | core.open_row[g]
+        agg = primary._row_agg.get(packed)
+        if agg is None:
+            # No live request for the row (aggregates drop at live==0,
+            # so this also covers buckets full of served stragglers).
             return False
         closed_groups = ~core.open_mask[g]
+        if not (agg[0] & closed_groups):
+            # The aggregate OR never understates the live union, so a
+            # fully-covered OR proves every live member is coverable.
+            return True
+        dq = primary._by_row.get(packed)
+        if not dq:
+            return False
         for cand in dq:
             if not cand.served and not (cand._needed & closed_groups):
                 return True
@@ -817,12 +827,12 @@ class ChannelController:
         """Coverage mask, activated fraction and masked? for an ACT."""
         scheme = self.scheme
         if req.is_write and scheme.write_uses_mask:
-            merged = req.dirty_mask
-            dq = self.write_q._by_row.get(req._rowkey)
-            if dq:
-                for w in dq:
-                    if not w.served:
-                        merged |= w.dirty_mask
+            # Queued writes carry ``_needed == dirty_mask`` under mask
+            # schemes, so the queue's per-row OR aggregate *is* the
+            # Section 5.2.1 merge — O(1) when fresh instead of a bucket
+            # walk per ACT.  ``req`` is still queued here, but OR its
+            # own mask anyway so the plan never depends on that.
+            merged = req.dirty_mask | self.write_q.merged_needed(req._rowkey)
             fraction = (
                 mask_ops.popcount(merged) / WORDS_PER_LINE
             ) * scheme.mask_scale

@@ -11,6 +11,14 @@ on:
 
 Removal is lazy: served requests are flagged and skipped/popped when
 they reach the head of a deque, keeping every operation amortized O(1).
+
+Each row bucket also keeps a flat ``[needed_or, live, stale]``
+aggregate so the controller's two per-step probes — "what coverage
+would an ACT for this row need?" and "does the open row still have a
+coverable request?" — are O(1) while the aggregate is fresh.  Appends
+keep ``needed_or`` exact; removals only mark it stale (the OR may then
+*overstate* the live union, never understate it), and
+:meth:`RequestQueue.merged_needed` recomputes exactly on demand.
 """
 
 from __future__ import annotations
@@ -49,6 +57,12 @@ class RequestQueue:
         self._fifo: Deque[Request] = deque()
         #: Row index keyed by the packed int form (``pack_row_key``).
         self._by_row: Dict[int, Deque[Request]] = {}
+        #: Per-row ``[needed_or, live, stale]`` aggregate, same keys as
+        #: ``_by_row`` but dropped eagerly when the last live member
+        #: leaves — so ``get`` is also the live-emptiness test.  The OR
+        #: covers live members exactly while ``stale`` is 0 and is a
+        #: superset of them once removals set ``stale`` to 1.
+        self._row_agg: Dict[int, List[int]] = {}
         self._per_rank: Dict[int, int] = {}
         self._count = 0
 
@@ -65,7 +79,14 @@ class RequestQueue:
             raise OverflowError("queue full")
         req.served = False
         self._fifo.append(req)
-        self._by_row.setdefault(req._rowkey, deque()).append(req)
+        key = req._rowkey
+        self._by_row.setdefault(key, deque()).append(req)
+        agg = self._row_agg.get(key)
+        if agg is None:
+            self._row_agg[key] = [req._needed, 1, 0]
+        else:
+            agg[0] |= req._needed
+            agg[1] += 1
         self._per_rank[req.addr.rank] = self._per_rank.get(req.addr.rank, 0) + 1
         self._count += 1
 
@@ -75,6 +96,12 @@ class RequestQueue:
             raise KeyError(f"request {req.req_id} already removed")
         req.served = True
         self._count -= 1
+        agg = self._row_agg[req._rowkey]
+        if agg[1] == 1:
+            del self._row_agg[req._rowkey]
+        else:
+            agg[1] -= 1
+            agg[2] = 1
         rank = req.addr.rank
         self._per_rank[rank] -= 1
         if self._per_rank[rank] == 0:
@@ -115,6 +142,27 @@ class RequestQueue:
 
     def has_row(self, key: RowKey) -> bool:
         return self.oldest_for_row(key) is not None
+
+    def merged_needed(self, packed: int) -> int:
+        """Exact OR of ``_needed`` over live requests for a packed row.
+
+        O(1) while the aggregate is fresh; a stale aggregate (some
+        member removed since the last recompute) is rebuilt from the
+        bucket and becomes fresh again.  Returns 0 for empty rows.
+        """
+        agg = self._row_agg.get(packed)
+        if agg is None:
+            return 0
+        if agg[2]:
+            merged = 0
+            dq = self._by_row.get(packed)
+            if dq is not None:
+                for r in dq:
+                    if not r.served:
+                        merged |= r._needed
+            agg[0] = merged
+            agg[2] = 0
+        return agg[0]
 
     def requests_for_row(self, key: RowKey) -> List[Request]:
         """All live requests targeting the row, oldest first."""

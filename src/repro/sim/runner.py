@@ -14,13 +14,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.sim.pool import SimPool
 
 from repro.controller.policies import RowPolicy
-from repro.core.schemes import BASELINE, Scheme
+from repro.core.schemes import BASELINE, Scheme, by_name
 from repro.cpu.metrics import weighted_speedup
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
+from repro.sim.snapshot import default_warmup, warm_fingerprint
 from repro.sim.system import System
 from repro.workloads.mixes import Workload, workload as lookup_workload
 
@@ -39,14 +43,28 @@ def default_events_per_core() -> int:
     return events
 
 
-def _simulate_task(task: Tuple) -> SimResult:
-    """One (config, workload, events, seed, warmup, snapshot_dir) run.
+#: Runner-wide invariants shipped to workers once per batch:
+#: (base_config, seed, warmup, snapshot_dir).
+RunnerContext = Tuple[SystemConfig, int, Optional[int], Optional[str]]
 
-    Module-level so :meth:`ExperimentRunner.run_many` worker processes
-    can unpickle it; :class:`SimResult` is a plain dataclass tree and
-    crosses the process boundary intact.
+#: One run: (workload, scheme_name, policy_value, events_per_core).
+#: The workload object travels whole (``alone`` runs use ad-hoc
+#: single-app workloads that no registry lookup could resolve); the
+#: scheme and policy travel as their names — the config delta.
+RunSpec = Tuple[Workload, str, str, int]
+
+
+def _simulate_task(ctx: RunnerContext, spec: RunSpec) -> SimResult:
+    """One simulation; module-level so worker processes can unpickle
+    it.  ``ctx`` carries the runner-wide invariants (shipped once per
+    worker); :class:`SimResult` is a plain dataclass tree and crosses
+    the process boundary intact.
     """
-    config, wl, events, seed, warmup, snapshot_dir = task
+    base_config, seed, warmup, snapshot_dir = ctx
+    wl, scheme_name, policy_value, events = spec
+    config = base_config.with_scheme(by_name(scheme_name)).with_policy(
+        RowPolicy(policy_value)
+    )
     system = System(
         config,
         wl,
@@ -56,6 +74,24 @@ def _simulate_task(task: Tuple) -> SimResult:
         snapshot_dir=snapshot_dir,
     )
     return system.run()
+
+
+#: Per-process runner context for throwaway ``multiprocessing`` pools;
+#: assigned by :func:`_init_runner_worker` before any task runs.
+_WORKER_CTX: List[Optional[RunnerContext]] = [None]
+
+
+def _init_runner_worker(ctx: RunnerContext) -> None:
+    """Pool initializer: receive the runner-wide invariants once."""
+    _WORKER_CTX[0] = ctx
+
+
+def _simulate_in_worker(spec: RunSpec) -> SimResult:
+    """Worker-side task body for ``Pool.map`` (context from initializer)."""
+    ctx = _WORKER_CTX[0]
+    if ctx is None:
+        raise RuntimeError("runner worker used before initialization")
+    return _simulate_task(ctx, spec)
 
 
 class ExperimentRunner:
@@ -68,6 +104,7 @@ class ExperimentRunner:
         seed: int = 1,
         warmup_events_per_core: Optional[int] = None,
         snapshot_dir: Optional[str] = None,
+        pool: "Optional[SimPool]" = None,
     ) -> None:
         """Configure shared run parameters for all cached simulations.
 
@@ -75,6 +112,12 @@ class ExperimentRunner:
         snapshot layer, extending warm-state reuse across
         :meth:`run_many` worker processes (which share no in-process
         cache) and across interpreter invocations.
+
+        ``pool`` routes every uncached simulation through a persistent
+        :class:`repro.sim.pool.SimPool`: one set of warm workers
+        (snapshot + trace caches intact) serves :meth:`run`,
+        :meth:`run_many` and every later batch, with results cached in
+        this runner as usual.  Bit-identical to in-process execution.
         """
         self.events_per_core = (
             default_events_per_core() if events_per_core is None else events_per_core
@@ -83,7 +126,29 @@ class ExperimentRunner:
         self.seed = seed
         self.warmup_events_per_core = warmup_events_per_core
         self.snapshot_dir = snapshot_dir
+        self.pool = pool
         self._results: Dict[Tuple, SimResult] = {}
+
+    # ------------------------------------------------------------------
+    def _context(self) -> RunnerContext:
+        """The runner-wide invariants every execution backend shares."""
+        return (
+            self.base_config,
+            self.seed,
+            self.warmup_events_per_core,
+            self.snapshot_dir,
+        )
+
+    def _spec_group_key(self, spec: RunSpec) -> tuple:
+        """Warm fingerprint of a spec, for pool cache-affinity grouping."""
+        wl, scheme_name, policy_value, _events = spec
+        config = self.base_config.with_scheme(by_name(scheme_name)).with_policy(
+            RowPolicy(policy_value)
+        )
+        warmup = self.warmup_events_per_core
+        if warmup is None:
+            warmup = default_warmup(config, wl)
+        return warm_fingerprint(config, wl, self.seed, warmup)
 
     # ------------------------------------------------------------------
     def run(
@@ -99,16 +164,13 @@ class ExperimentRunner:
         key = (wl.name, tuple(wl.app_names), scheme.name, policy.value, events)
         result = self._results.get(key)
         if result is None:
-            config = self.base_config.with_scheme(scheme).with_policy(policy)
-            system = System(
-                config,
-                wl,
-                events,
-                seed=self.seed,
-                warmup_events_per_core=self.warmup_events_per_core,
-                snapshot_dir=self.snapshot_dir,
-            )
-            result = system.run()
+            spec: RunSpec = (wl, scheme.name, policy.value, events)
+            if self.pool is not None:
+                result = self.pool.map(
+                    _simulate_task, [spec], shared=self._context()
+                )[0]
+            else:
+                result = _simulate_task(self._context(), spec)
             self._results[key] = result
         return result
 
@@ -121,41 +183,45 @@ class ExperimentRunner:
     ) -> List[SimResult]:
         """Run a batch of ``(workload, scheme, policy)`` specs.
 
-        With ``workers`` > 1 the *uncached* specs are simulated in a
-        process pool (each worker re-derives the same deterministic
-        per-point seed, so results are identical to serial execution);
-        everything lands in the shared cache and the results come back
-        in spec order.  Duplicate specs are simulated once.
+        Uncached specs run on the runner's persistent pool when one is
+        attached (warm workers, fingerprint-grouped scheduling), else
+        on a throwaway process pool with ``workers`` > 1, else
+        serially in-process — all three bit-identical (the same
+        deterministic seed governs every backend).  Everything lands
+        in the shared cache and the results come back in spec order.
+        Duplicate specs are simulated once.
         """
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
         events = self.events_per_core if events_per_core is None else events_per_core
         keys: List[Tuple] = []
-        todo: Dict[Tuple, Tuple] = {}
+        todo: Dict[Tuple, RunSpec] = {}
         for spec in specs:
             wl, scheme, policy = spec
             wl = lookup_workload(wl) if isinstance(wl, str) else wl
             key = (wl.name, tuple(wl.app_names), scheme.name, policy.value, events)
             keys.append(key)
             if key not in self._results and key not in todo:
-                config = self.base_config.with_scheme(scheme).with_policy(policy)
-                todo[key] = (
-                    config,
-                    wl,
-                    events,
-                    self.seed,
-                    self.warmup_events_per_core,
-                    self.snapshot_dir,
-                )
+                todo[key] = (wl, scheme.name, policy.value, events)
         if todo:
             tasks = list(todo.values())
-            if workers is not None and workers > 1 and len(tasks) > 1:
+            ctx = self._context()
+            if self.pool is not None:
+                results = self.pool.map(
+                    _simulate_task,
+                    tasks,
+                    shared=ctx,
+                    group_keys=[self._spec_group_key(task) for task in tasks],
+                )
+            elif workers is not None and workers > 1 and len(tasks) > 1:
                 with multiprocessing.Pool(
-                    processes=min(workers, len(tasks))
-                ) as pool:
-                    results = pool.map(_simulate_task, tasks)
+                    processes=min(workers, len(tasks)),
+                    initializer=_init_runner_worker,
+                    initargs=(ctx,),
+                ) as mp_pool:
+                    results = mp_pool.map(_simulate_in_worker, tasks)
             else:
-                results = [_simulate_task(task) for task in tasks]
+                results = [_simulate_task(ctx, task) for task in tasks]
             for key, result in zip(todo, results):
                 self._results[key] = result
         return [self._results[key] for key in keys]

@@ -110,6 +110,18 @@ def state_digest(hierarchy: "CacheHierarchy") -> str:
     ).hexdigest()
 
 
+def default_warmup(config: "SystemConfig", workload: "Workload") -> int:
+    """Warmup length :class:`~repro.sim.system.System` uses by default.
+
+    4x the LLC line count, split across the cores: random placement
+    needs the extra margin to fill (nearly) every set to steady state.
+    Centralized here so the sweep scheduler's fingerprint grouping
+    resolves the same warmup length the System will.
+    """
+    llc_lines = config.cache.llc_bytes // 64
+    return (4 * llc_lines) // max(1, workload.num_cores)
+
+
 def warm_fingerprint(
     config: "SystemConfig",
     workload: "Workload",

@@ -19,6 +19,19 @@ Axes:
 
 Each grid point yields one flattened result row (the ``summary`` of
 the run plus identification columns).
+
+Execution backends, all bit-identical row for row:
+
+* serial in-process (the oracle the others must match),
+* ``run(workers=N)`` — a throwaway ``multiprocessing`` pool; the
+  grid-wide invariants (base config, run length, seed, snapshot dir)
+  are shipped once per worker via the pool initializer, so each task
+  payload is just its point dict (the config *delta*), not a full
+  pickled :class:`SystemConfig` per point;
+* ``run(pool=...)`` — a persistent :class:`repro.sim.pool.SimPool`
+  whose warm workers carry snapshot/trace caches across points *and*
+  across sweeps; points are grouped by warm fingerprint so each
+  fingerprint warms exactly one worker.
 """
 
 from __future__ import annotations
@@ -28,11 +41,15 @@ import itertools
 import json
 import multiprocessing
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.sim.pool import SimPool
 
 from repro.controller.policies import RowPolicy
 from repro.core.schemes import by_name
 from repro.sim.config import SystemConfig
+from repro.sim.snapshot import default_warmup, warm_fingerprint
 from repro.sim.system import simulate
 from repro.workloads.mixes import workload as lookup_workload
 
@@ -43,6 +60,10 @@ _POLICIES = {
 }
 
 _KNOWN_AXES = ("scheme", "workload", "policy", "ecc_chips")
+
+#: Grid-wide run invariants shipped to workers once per batch:
+#: (base_config, events_per_core, seed, warmup, snapshot_dir).
+SweepContext = Tuple[SystemConfig, int, int, Optional[int], Optional[str]]
 
 
 def _apply_point(base_config: SystemConfig, point: Dict) -> SystemConfig:
@@ -57,12 +78,13 @@ def _apply_point(base_config: SystemConfig, point: Dict) -> SystemConfig:
     return config
 
 
-def _run_point(task: Tuple) -> Dict:
+def _run_point(ctx: SweepContext, point: Dict) -> Dict:
     """Simulate one grid point; module-level so worker processes can
-    unpickle it.  Returns the flattened result row (small and
-    picklable; the heavy ``System`` never crosses the process
-    boundary)."""
-    point, base_config, events, seed, warmup, snapshot_dir = task
+    unpickle it.  ``ctx`` carries the grid-wide invariants (shipped
+    once per worker); ``point`` is only the config delta.  Returns the
+    flattened result row (small and picklable; the heavy ``System``
+    never crosses the process boundary)."""
+    base_config, events, seed, warmup, snapshot_dir = ctx
     config = _apply_point(base_config, point)
     result = simulate(
         config,
@@ -75,6 +97,24 @@ def _run_point(task: Tuple) -> Dict:
     row = {**point}
     row.update(result.summary())
     return row
+
+
+#: Per-process sweep context for throwaway ``multiprocessing`` pools;
+#: assigned by :func:`_init_worker` before any task runs.
+_WORKER_CTX: List[Optional[SweepContext]] = [None]
+
+
+def _init_worker(ctx: SweepContext) -> None:
+    """Pool initializer: receive the grid-wide invariants once."""
+    _WORKER_CTX[0] = ctx
+
+
+def _run_point_in_worker(point: Dict) -> Dict:
+    """Worker-side task body for ``Pool.map`` (context from initializer)."""
+    ctx = _WORKER_CTX[0]
+    if ctx is None:
+        raise RuntimeError("sweep worker used before initialization")
+    return _run_point(ctx, point)
 
 
 class Sweep:
@@ -117,41 +157,86 @@ class Sweep:
     def _config_for(self, point: Dict) -> SystemConfig:
         return _apply_point(self.base_config, point)
 
-    def _tasks(self) -> List[Tuple]:
-        """Materialize the grid as picklable worker tasks, in grid order."""
+    def _context(self) -> SweepContext:
+        """The grid-wide invariants every execution backend shares."""
+        return (
+            self.base_config,
+            self.events_per_core,
+            self.seed,
+            self.warmup,
+            self.snapshot_dir,
+        )
+
+    def _tasks(self) -> List[Dict]:
+        """Materialize the grid as per-point payloads, in grid order.
+
+        Each payload is only the point dict (the config *delta*); the
+        grid-wide invariants travel separately via :meth:`_context`,
+        once per worker instead of once per point.
+        """
         if not self._axes:
             raise ValueError("add at least one axis before running")
         if "workload" not in self._axes:
             raise ValueError("a 'workload' axis is required")
         names = list(self._axes)
         return [
-            (
-                dict(zip(names, combo)),
-                self.base_config,
-                self.events_per_core,
-                self.seed,
-                self.warmup,
-                self.snapshot_dir,
-            )
+            dict(zip(names, combo))
             for combo in itertools.product(*(self._axes[n] for n in names))
         ]
 
-    def run(self, workers: Optional[int] = None) -> List[Dict]:
+    def _group_key(self, point: Dict) -> tuple:
+        """Warm fingerprint of a point, for pool cache-affinity grouping.
+
+        Resolves the same default warmup length the ``System`` will, so
+        points that share post-warmup state (every non-DBI scheme of one
+        (workload, seed) column) land on one warm worker back to back.
+        """
+        config = _apply_point(self.base_config, point)
+        workload = lookup_workload(point["workload"])
+        warmup = self.warmup
+        if warmup is None:
+            warmup = default_warmup(config, workload)
+        return warm_fingerprint(config, workload, self.seed, warmup)
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        pool: "Optional[SimPool]" = None,
+        mp_start: Optional[str] = None,
+    ) -> List[Dict]:
         """Execute the grid; returns (and stores) one row per point.
 
-        ``workers`` > 1 fans the grid points out over a process pool.
-        Every point carries the same deterministic seed either way and
-        the rows are merged back in grid order, so a parallel sweep is
-        row-for-row identical to a serial one.
+        ``pool`` runs the grid on a persistent
+        :class:`repro.sim.pool.SimPool` (warm workers, fingerprint-
+        grouped scheduling).  ``workers`` > 1 fans the points out over
+        a throwaway process pool instead; ``mp_start`` selects its
+        multiprocessing start method (``"spawn"`` models the fully
+        cold worker cost, ``None`` uses the platform default).  Every
+        point carries the same deterministic seed on every backend and
+        the rows are merged back in grid order, so parallel and pooled
+        sweeps are row-for-row identical to a serial one.
         """
         tasks = self._tasks()
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
-        if workers is not None and workers > 1 and len(tasks) > 1:
-            with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
-                self.rows = pool.map(_run_point, tasks)
+        ctx = self._context()
+        if pool is not None:
+            self.rows = pool.map(
+                _run_point,
+                tasks,
+                shared=ctx,
+                group_keys=[self._group_key(point) for point in tasks],
+            )
+        elif workers is not None and workers > 1 and len(tasks) > 1:
+            mp_ctx = multiprocessing.get_context(mp_start)
+            with mp_ctx.Pool(
+                processes=min(workers, len(tasks)),
+                initializer=_init_worker,
+                initargs=(ctx,),
+            ) as mp_pool:
+                self.rows = mp_pool.map(_run_point_in_worker, tasks)
         else:
-            self.rows = [_run_point(task) for task in tasks]
+            self.rows = [_run_point(ctx, task) for task in tasks]
         return self.rows
 
     # ------------------------------------------------------------------

@@ -48,6 +48,7 @@ from repro.sim.sanitize import (
 from repro.sim.snapshot import (
     SNAPSHOTS,
     capture_warm_state,
+    default_warmup,
     restore_warm_state,
     snapshot_disk_dir,
     warm_fingerprint,
@@ -181,10 +182,7 @@ class System:
         self.hierarchy = CacheHierarchy(l2, l1s=l1s, dbi=dbi)
 
         if warmup_events_per_core is None:
-            # 4x the LLC line count: random placement needs the extra
-            # margin to fill (nearly) every set to steady state.
-            llc_lines = cache_cfg.llc_bytes // 64
-            warmup_events_per_core = (4 * llc_lines) // max(1, workload.num_cores)
+            warmup_events_per_core = default_warmup(config, workload)
         self.warmup_events_per_core = warmup_events_per_core
 
         if trace_overrides is not None and len(trace_overrides) != workload.num_cores:
