@@ -19,6 +19,15 @@ grids; the speedup and absolute points/sec land in the ``_sweep``
 section of ``BENCH_throughput.json`` so CI archives them per commit.
 The floor is 3x locally; CI sets ``REPRO_SWEEP_SPEEDUP_FLOOR=2`` to
 absorb shared-runner jitter.
+
+``test_batch_sweep_speedup`` adds the third backend: the lane-parallel
+batch kernel (``Sweep.run(batch=N)``, :mod:`repro.sim.batch`) on the
+same 24-point grid at *screening* fidelity — a realistic 2 MB LLC and
+a handful of timed events per point, the regime sensitivity screens
+actually run in, where per-point construction / restore / IPC dominate
+and batching is designed to win.  Its numbers land in the ``_batch``
+section with a ``REPRO_BATCH_SPEEDUP_FLOOR`` floor (3x locally, 2x in
+CI) over the warm pool, plus a 10x floor over cold spawn.
 """
 
 import json
@@ -112,3 +121,110 @@ def test_sweep_pool_speedup():
     RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
     assert speedup >= floor
+
+
+# -- Batched sweep (lane-parallel kernel) ------------------------------
+
+#: Screening fidelity: a realistic full-size LLC and a handful of timed
+#: events per point.  Here per-point overhead — cache construction,
+#: warm-state restore, task IPC — dominates the wall time, which is
+#: exactly the regime the batch kernel amortizes: one shared event loop,
+#: copy-on-write snapshot restores, one task message per lane group.
+BATCH_LLC_BYTES = 2 * 1024 * 1024
+BATCH_EVENTS = 2
+BATCH_REPEATS = 3
+
+
+def make_batch_sweep() -> Sweep:
+    sweep = Sweep(
+        events_per_core=BATCH_EVENTS,
+        base_config=SystemConfig(cache=CacheConfig(llc_bytes=BATCH_LLC_BYTES)),
+        warmup_events_per_core=WARMUP,
+    )
+    sweep.add_axis("scheme", SCHEMES)
+    sweep.add_axis("workload", WORKLOADS)
+    sweep.add_axis("policy", POLICIES)
+    return sweep
+
+
+def _best_of(fn, repeats: int = BATCH_REPEATS) -> float:
+    """Min wall time over ``repeats`` runs (standard jitter control)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_batch_sweep_speedup():
+    """Batched sweep vs warm pool vs cold spawn on the 24-point grid."""
+    floor = float(os.environ.get("REPRO_BATCH_SPEEDUP_FLOOR", "3.0"))
+    points = len(SCHEMES) * len(WORKLOADS) * len(POLICIES)
+
+    # Serial oracle: the bit-identity reference for every arm (also
+    # builds the warm snapshots the in-process arms restore from).
+    serial_rows = make_batch_sweep().run()
+
+    # Cold arm: spawn-start throwaway pool, exactly one (untimed-warmup
+    #-free) run — every worker pays interpreter boot, imports and one
+    # warmup replay per fingerprint it encounters.
+    SNAPSHOTS.clear()
+    t0 = time.perf_counter()
+    cold_rows = make_batch_sweep().run(workers=WORKERS, mp_start="spawn")
+    cold_s = time.perf_counter() - t0
+    make_batch_sweep().run()  # re-warm parent snapshots for the arms below
+
+    # Warm-pool baseline: persistent SimPool in steady state.
+    with SimPool(workers=WORKERS) as pool:
+        make_batch_sweep().run(pool=pool)  # warms worker caches; untimed
+        pooled_s = _best_of(lambda: make_batch_sweep().run(pool=pool))
+        pooled_rows = make_batch_sweep().run(pool=pool)
+
+    # Batched arm: the whole grid as one lane group through one shared
+    # event loop, in-process.
+    make_batch_sweep().run(batch=points)  # untimed: triggers lazy imports
+    batch_s = _best_of(lambda: make_batch_sweep().run(batch=points))
+    batch_rows = make_batch_sweep().run(batch=points)
+
+    assert cold_rows == serial_rows
+    assert pooled_rows == serial_rows
+    assert batch_rows == serial_rows
+    pool_speedup = pooled_s / batch_s
+    cold_speedup = cold_s / batch_s
+
+    print()
+    print(f"=== Batched sweep ({points} points, batch={points}, "
+          f"{BATCH_EVENTS} events/core, {BATCH_LLC_BYTES // 1024} KB LLC) ===")
+    print(f"  cold spawn     {cold_s:6.2f} s  ({points / cold_s:6.1f} points/s)")
+    print(f"  warm pool      {pooled_s:6.2f} s  ({points / pooled_s:6.1f} points/s)")
+    print(f"  batched        {batch_s:6.2f} s  ({points / batch_s:6.1f} points/s)")
+    print(f"  vs warm pool   {pool_speedup:6.2f}x  (floor {floor}x)")
+    print(f"  vs cold spawn  {cold_speedup:6.2f}x  (floor 10x)")
+
+    results = {}
+    if RESULTS_PATH.exists():
+        try:
+            results = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            results = {}
+    results["_batch"] = {
+        "grid_points": points,
+        "batch_lanes": points,
+        "events_per_core": BATCH_EVENTS,
+        "warmup_events_per_core": WARMUP,
+        "llc_bytes": BATCH_LLC_BYTES,
+        "workers": WORKERS,
+        "cold_spawn_seconds": round(cold_s, 3),
+        "cold_spawn_points_per_second": round(points / cold_s, 2),
+        "pooled_seconds": round(pooled_s, 3),
+        "pooled_points_per_second": round(points / pooled_s, 2),
+        "batched_seconds": round(batch_s, 3),
+        "batched_points_per_second": round(points / batch_s, 2),
+        "batched_speedup_vs_pool": round(pool_speedup, 2),
+        "batched_speedup_vs_cold": round(cold_speedup, 2),
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    assert pool_speedup >= floor
+    assert cold_speedup >= 10.0

@@ -30,10 +30,12 @@ from __future__ import annotations
 FAST_PATH_MODULES = frozenset(
     {
         "src/repro/dram/soa.py",
+        "src/repro/dram/soa_batch.py",
         "src/repro/workloads/synthetic.py",
         "src/repro/sim/snapshot.py",
         "src/repro/sim/system.py",
         "src/repro/sim/pool.py",
+        "src/repro/sim/batch.py",
     }
 )
 

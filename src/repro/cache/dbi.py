@@ -11,9 +11,16 @@ pressure (the proactive burst arrives with heterogeneous masks).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Set, Tuple, Union
 
 RowOf = Callable[[int], Hashable]
+
+#: One row's dirty lines: a private mutable set, or — after a
+#: copy-on-write restore — the snapshot's shared immutable tuple,
+#: privatized to a set on first mutation.  All readers are
+#: order-insensitive (membership, ``len``, sorted iteration), so the
+#: two representations are observationally identical.
+RowLines = Union[Set[int], Tuple[int, ...]]
 
 
 class DirtyBlockIndex:
@@ -30,7 +37,7 @@ class DirtyBlockIndex:
             raise ValueError("max_writebacks must be >= 1")
         self.row_of = row_of
         self.max_writebacks = max_writebacks
-        self._rows: Dict[Hashable, Set[int]] = {}
+        self._rows: Dict[Hashable, RowLines] = {}
         self.proactive_writebacks = 0
         self.triggers = 0
 
@@ -38,8 +45,17 @@ class DirtyBlockIndex:
         return sum(len(lines) for lines in self._rows.values())
 
     def mark_dirty(self, line_addr: int) -> None:
+        """Record a line as dirty under its DRAM row."""
         key = self.row_of(line_addr)
-        self._rows.setdefault(key, set()).add(line_addr)
+        lines = self._rows.get(key)
+        if lines is None:
+            self._rows[key] = {line_addr}
+            return
+        if isinstance(lines, tuple):
+            # Shared snapshot row (cow restore): privatize on mutation.
+            lines = set(lines)
+            self._rows[key] = lines
+        lines.add(line_addr)
 
     def mark_clean(self, line_addr: int) -> None:
         """Drop a line from the dirty registry (no-op if absent)."""
@@ -47,6 +63,11 @@ class DirtyBlockIndex:
         lines = self._rows.get(key)
         if lines is None:
             return
+        if isinstance(lines, tuple):
+            if line_addr not in lines:
+                return
+            lines = set(lines)
+            self._rows[key] = lines
         lines.discard(line_addr)
         if not lines:
             del self._rows[key]
@@ -57,16 +78,28 @@ class DirtyBlockIndex:
 
     def dirty_lines_in_row(self, line_addr: int) -> List[int]:
         """Dirty companions of ``line_addr`` in its DRAM row (sorted)."""
-        lines = self._rows.get(self.row_of(line_addr), set())
+        lines: RowLines = self._rows.get(self.row_of(line_addr), ())
         return sorted(addr for addr in lines if addr != line_addr)
 
     def export_rows(self) -> Dict[Hashable, Tuple[int, ...]]:
         """Snapshot the dirty registry as picklable sorted tuples."""
         return {key: tuple(sorted(lines)) for key, lines in self._rows.items()}
 
-    def restore_rows(self, rows: Dict[Hashable, Tuple[int, ...]]) -> None:
-        """Restore-by-copy a registry captured by :meth:`export_rows`."""
-        self._rows = {key: set(lines) for key, lines in rows.items()}
+    def restore_rows(
+        self, rows: Dict[Hashable, Tuple[int, ...]], cow: bool = False
+    ) -> None:
+        """Restore-by-copy a registry captured by :meth:`export_rows`.
+
+        ``cow=True`` (the batch kernel's path) copies only the top-level
+        dict and keeps the snapshot's per-row tuples shared; a row is
+        privatized to a set on its first ``mark_dirty``/``mark_clean``.
+        Every reader is order-insensitive, so this is observationally
+        identical to the eager default, which stays the oracle path.
+        """
+        if cow:
+            self._rows = dict(rows)
+        else:
+            self._rows = {key: set(lines) for key, lines in rows.items()}
 
     def on_writeback(self, line_addr: int) -> List[int]:
         """A dirty line is being written back: pick companions to drain.

@@ -78,8 +78,17 @@ class SetAssociativeCache:
         ways: int,
         line_bytes: int = LINE_BYTES,
         name: str = "cache",
+        lazy_sets: bool = False,
     ) -> None:
-        """Size the tag arrays for ``capacity_bytes`` / ``ways``."""
+        """Size the tag arrays for ``capacity_bytes`` / ``ways``.
+
+        ``lazy_sets=True`` skips allocating the per-set tag dicts and
+        free stacks — the dominant construction cost on large caches.
+        The caller then guarantees :meth:`restore_state` runs before
+        any access (it replaces both structures wholesale, so eager
+        allocation would be pure garbage); the System constructor uses
+        this when a warm snapshot is already in hand.
+        """
         if capacity_bytes % (ways * line_bytes):
             raise ValueError("capacity must be a multiple of ways * line size")
         self.name = name
@@ -89,18 +98,28 @@ class SetAssociativeCache:
             raise ValueError("cache must have at least one set")
         slots = self.num_sets * ways
         #: Per-set ``tag -> slot`` directory.
-        self._tags: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._tags: List[Dict[int, int]] = (
+            [] if lazy_sets else [dict() for _ in range(self.num_sets)]
+        )
         #: Flat per-slot state arrays (parallel; indexed by slot).
         self._addr: List[int] = [0] * slots
         self._mask: List[int] = [0] * slots
         self._stamps: List[int] = [0] * slots
         #: Per-set stack of unoccupied slots.
-        self._free: List[List[int]] = [
-            list(range((s + 1) * ways - 1, s * ways - 1, -1))
-            for s in range(self.num_sets)
-        ]
+        self._free: List[List[int]] = (
+            []
+            if lazy_sets
+            else [
+                list(range((s + 1) * ways - 1, s * ways - 1, -1))
+                for s in range(self.num_sets)
+            ]
+        )
         #: Monotonic LRU clock (plain int: picklable, snapshot-friendly).
         self._stamp_counter = 0
+        #: Copy-on-write restore bookkeeping: ``None`` when every set's
+        #: tag dict / free stack is privately owned (the eager default),
+        #: else the set indices still aliasing a shared snapshot.
+        self._cow_sets: Optional[set] = None
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -121,6 +140,25 @@ class SetAssociativeCache:
         """Probe without updating LRU or stats."""
         slot = self._tags[line_addr % self.num_sets].get(line_addr // self.num_sets)
         return None if slot is None else LineView(self, slot)
+
+    def _own_set(self, set_idx: int) -> Dict[int, int]:
+        """Privatize one set before mutating its dict/free stack.
+
+        After a copy-on-write restore (``restore_state(..., cow=True)``)
+        the per-set tag dicts and free stacks still alias the shared
+        snapshot; the first structural mutation of a set copies just
+        that set.  Reads never need ownership, and the hit path only
+        touches the (always private) flat arrays, so the check sits on
+        the miss/evict/invalidate paths only.
+        """
+        cow = self._cow_sets
+        if cow is not None and set_idx in cow:
+            self._tags[set_idx] = dict(self._tags[set_idx])
+            self._free[set_idx] = list(self._free[set_idx])
+            cow.remove(set_idx)
+            if not cow:
+                self._cow_sets = None
+        return self._tags[set_idx]
 
     # ------------------------------------------------------------------
     def access(
@@ -147,6 +185,8 @@ class SetAssociativeCache:
             return (True, None)
         stats.misses += 1
         victim: Optional[Eviction] = None
+        if self._cow_sets is not None:
+            tags = self._own_set(set_idx)
         if len(tags) >= self.ways:
             victim, slot = self._evict_slot(tags)
         else:
@@ -182,6 +222,8 @@ class SetAssociativeCache:
             self._stamps[slot] = stamp
             return None
         victim: Optional[Eviction] = None
+        if self._cow_sets is not None:
+            tags = self._own_set(set_idx)
         if len(tags) >= self.ways:
             victim, slot = self._evict_slot(tags)
         else:
@@ -204,6 +246,8 @@ class SetAssociativeCache:
     def invalidate(self, line_addr: int) -> Optional[Eviction]:
         """Drop a line; returns it (with dirty state) if present."""
         set_idx = line_addr % self.num_sets
+        if self._cow_sets is not None:
+            self._own_set(set_idx)
         slot = self._tags[set_idx].pop(line_addr // self.num_sets, None)
         if slot is None:
             return None
@@ -249,19 +293,35 @@ class SetAssociativeCache:
             self._stamp_counter,
         )
 
-    def restore_state(self, state: tuple) -> None:
+    def restore_state(self, state: tuple, cow: bool = False) -> None:
         """Restore-by-copy a state captured by :meth:`export_state`.
 
         Dict-insertion order is part of the copy, so a restored cache
         evolves bit-identically to the one that was snapshotted
         (eviction scans iterate the tag dicts).
+
+        ``cow=True`` selects the copy-on-write restore the batch kernel
+        uses: the flat arrays are still plainly copied (C-level, cheap)
+        but the per-set tag dicts and free stacks initially *alias* the
+        snapshot and are privatized one set at a time on first mutation
+        (:meth:`_own_set`).  Observable behaviour is identical — the
+        snapshot rows are only ever read while shared — it just skips
+        the per-set dict/list copies that dominate eager restore, which
+        matters when many lanes restore from one snapshot at once.  The
+        eager default remains the oracle path.
         """
         tags, addr, mask, stamps, free, counter = state
         if len(tags) != self.num_sets or len(addr) != len(self._addr):
             raise ValueError("snapshot geometry does not match this cache")
-        self._tags = [dict(t) for t in tags]
+        if cow:
+            self._tags = list(tags)
+            self._free = list(free)
+            self._cow_sets = set(range(self.num_sets))
+        else:
+            self._tags = [dict(t) for t in tags]
+            self._free = [list(f) for f in free]
+            self._cow_sets = None
         self._addr = list(addr)
         self._mask = list(mask)
         self._stamps = list(stamps)
-        self._free = [list(f) for f in free]
         self._stamp_counter = counter

@@ -11,7 +11,8 @@ Commands
     Run several schemes on one workload and print normalized results.
 ``sweep``
     Run a grid and export CSV/JSON (``--pool N`` for a persistent
-    warm worker pool, ``--workers N`` for a throwaway process pool).
+    warm worker pool, ``--workers N`` for a throwaway process pool,
+    ``--batch N`` for the lane-parallel batch kernel).
 ``bench``
     Drive a whole figure suite (scheme x workload grid) through one
     persistent pool and print points/sec plus normalized summaries.
@@ -29,6 +30,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import TYPE_CHECKING, Callable, List, Optional
 
@@ -45,6 +47,29 @@ _POLICIES = {
     "restricted": RowPolicy.RESTRICTED_CLOSE,
     "open": RowPolicy.OPEN_PAGE,
 }
+
+def _available_cpus() -> int:
+    """CPUs this process may use (monkeypatchable in tests)."""
+    return os.cpu_count() or 1
+
+
+def _check_worker_budget(flag: str, requested: int) -> None:
+    """Reject worker counts that oversubscribe the machine.
+
+    Simulation workers are CPU-bound: more workers than cores just
+    adds context-switch and IPC overhead while *looking* parallel, so
+    an explicit over-ask is almost certainly a mistake.  Raises
+    ``ValueError`` (→ exit code 2 with a clean message) rather than
+    silently clamping.
+    """
+    cpus = _available_cpus()
+    if requested > cpus:
+        raise ValueError(
+            f"{flag} {requested} exceeds the {cpus} available CPU(s); "
+            f"use {flag} {cpus} or lower (lane batching via 'sweep "
+            "--batch N' scales without extra CPUs)"
+        )
+
 
 #: ``repro bench`` suites: scheme set per figure; every suite crosses
 #: its schemes with all 14 evaluation workloads except ``quick``.
@@ -105,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--pool", type=int, default=0, metavar="N",
                          help="run the grid on a persistent pool of N warm "
                          "workers (fingerprint-grouped scheduling)")
+    sweep_p.add_argument("--batch", type=int, default=None, metavar="N",
+                         help="advance up to N grid points per shared event "
+                         "loop (lane-parallel batch kernel); combines with "
+                         "--pool to ship whole lane groups per worker task")
     sweep_p.add_argument("--profile", action="store_true",
                          help="run under cProfile, print top-25 by cumulative time")
 
@@ -118,8 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="memory instructions per core")
     bench_p.add_argument("--policy", choices=sorted(_POLICIES), default="relaxed")
     bench_p.add_argument("--seed", type=int, default=1)
-    bench_p.add_argument("--pool", type=int, default=2, metavar="N",
-                         help="persistent pool workers (0 = serial in-process)")
+    bench_p.add_argument("--pool", type=int, default=None, metavar="N",
+                         help="persistent pool workers (0 = serial in-process; "
+                         "default: min(2, available CPUs))")
     bench_p.add_argument("--sanitize", action="store_true",
                          help="enable the runtime sanitizer")
     return parser
@@ -205,13 +235,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sweep.add_axis("scheme", args.schemes)
     sweep.add_axis("workload", args.workloads)
     sweep.add_axis("policy", args.policies)
+    if args.batch is not None and args.batch < 1:
+        raise ValueError("--batch must be a positive integer")
     if args.pool:
+        _check_worker_budget("--pool", args.pool)
         from repro.sim.pool import SimPool
 
         with SimPool(workers=args.pool) as pool:
-            rows = sweep.run(pool=pool)
+            rows = sweep.run(pool=pool, batch=args.batch)
     else:
-        rows = sweep.run(workers=args.workers)
+        if args.workers is not None:
+            _check_worker_budget("--workers", args.workers)
+        rows = sweep.run(workers=args.workers, batch=args.batch)
     if args.out.endswith(".json"):
         sweep.to_json(args.out)
     else:
@@ -226,6 +261,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.sim.runner import ExperimentRunner, arithmetic_mean
 
+    pool_workers = args.pool
+    if pool_workers is None:
+        pool_workers = min(2, _available_cpus())
+    else:
+        if pool_workers:
+            _check_worker_budget("--pool", pool_workers)
+
     scheme_names, workload_names = _BENCH_SUITES[args.suite]
     if workload_names is None:
         workload_names = list(ALL_WORKLOADS)
@@ -238,10 +280,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ]
 
     pool = None
-    if args.pool:
+    if pool_workers:
         from repro.sim.pool import SimPool
 
-        pool = SimPool(workers=args.pool)
+        pool = SimPool(workers=pool_workers)
     try:
         runner = ExperimentRunner(
             events_per_core=args.events, seed=args.seed,
@@ -257,7 +299,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     by_point = {
         (spec[0], spec[1].name): result for spec, result in zip(specs, results)
     }
-    mode = f"pool({args.pool})" if args.pool else "serial"
+    mode = f"pool({pool_workers})" if pool_workers else "serial"
     print(f"{args.suite}: {len(specs)} points, {len(workload_names)} workloads "
           f"x {len(schemes)} schemes ({policy.value}, "
           f"{args.events} events/core, {mode})")

@@ -1,0 +1,373 @@
+"""Lane-parallel batch kernel: advance N grid points through one loop.
+
+A sweep grid point is one (config, workload) simulation.  The scalar
+path builds a :class:`~repro.sim.system.System` per point and runs its
+event loop to completion before touching the next point; at screening
+fidelity (small event counts) most of the wall time is construction and
+interpreter overhead, not scheduling work.  This module changes the
+*unit of work*: a :class:`BatchSystem` holds N points as *lanes* and
+drives them all through one shared event loop.
+
+* **Lane-major timing state.**  Each channel index gets one
+  :class:`~repro.dram.soa_batch.BatchTimingCore` slab — ``TimingCore``'s
+  flat vectors with a leading lane dimension, bulk-allocated as
+  whole-array ops (numpy via the ``.[fast]`` extra, pure-list fallback
+  with identical semantics; :data:`HAVE_NUMPY` is the loud-skip shim).
+  Every lane's controllers run against lane-sliced views (real
+  ``TimingCore`` objects aliasing the slab rows), so the scheduler hot
+  path is byte-for-byte the scalar one and bit-identity holds by
+  construction.
+* **Shared wake heap keyed ``(cycle, lane)``.**  Popping the heap
+  advances the earliest-due lane by exactly one pass of the scalar
+  engine's six-phase loop body (:meth:`_Lane.advance` transcribes
+  ``System.run``), then re-keys it at its next event cycle.  Each
+  lane's pass sequence is identical to its solo run; the heap only
+  interleaves lanes, it never reorders one lane's events.
+* **Shared construction.**  Lanes are built in warm-fingerprint groups:
+  the first lane of a fingerprint builds (or disk-loads) the warm
+  snapshot, the rest restore from the in-process cache — copy-on-write
+  (``System(cow_restore=True)``), so N lanes share one snapshot's
+  per-set state until they actually diverge.  Compiled
+  :class:`~repro.workloads.synthetic.TraceBlocks` are shared through
+  the existing block cache.
+
+The scalar engine remains the oracle: every lane's
+:class:`~repro.sim.results.SimResult` must equal its serial run
+bit-for-bit (``tests/test_batch.py`` pins this across schemes,
+backends, and mixed snapshot-restored/cold batches).
+
+Entry points: :class:`BatchSystem` directly, :func:`simulate_batch`
+for one-shot use, ``Sweep.run(batch=N)`` for grids, and
+:func:`_run_lane_group` as the :class:`~repro.sim.pool.SimPool` task
+body that ships whole lane-groups to warm workers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cpu.core_model import NEVER
+from repro.dram.soa import TimingCore
+from repro.dram.soa_batch import HAVE_NUMPY, BatchTimingCore
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.snapshot import default_warmup, warm_fingerprint
+from repro.sim.sweep import SweepContext, _apply_point
+from repro.sim.system import OVERFLOW_STALL_THRESHOLD, System
+from repro.workloads.mixes import Workload
+from repro.workloads.mixes import workload as lookup_workload
+
+__all__ = ["HAVE_NUMPY", "BatchSystem", "simulate_batch"]
+
+# Oracle-parity declaration enforced by reprolint: the batch event loop
+# is a fast path; the scalar ``System.run`` is the oracle every lane
+# must match bit-for-bit.
+REPRO_FAST_PATH = True
+ORACLE_TWIN = "repro.sim.system.System.run"
+ORACLE_TESTS = ("tests/test_batch.py",)
+
+#: One lane: a specialized config plus its workload (or workload name).
+LaneSpec = Tuple[SystemConfig, Union[Workload, str]]
+
+
+class _Lane:
+    """One grid point's System plus its private event-loop state."""
+
+    __slots__ = ("index", "system", "cycle", "wake", "heap", "core_next", "result")
+
+    def __init__(self, index: int, system: System) -> None:
+        self.index = index
+        self.system = system
+        self.cycle = 0
+        controllers = system.controllers
+        #: Authoritative next-wake cycle per controller (heap entries
+        #: that disagree are stale) — same contract as ``System.run``.
+        self.wake = [0] * len(controllers)
+        self.heap = [(0, idx) for idx in range(len(controllers))]
+        heapify(self.heap)
+        #: Lower bound on each core's next action cycle.
+        self.core_next = [0] * len(system.cores)
+        self.result: Optional[SimResult] = None
+
+    # ------------------------------------------------------------------
+    def advance(self) -> Optional[int]:
+        """One pass of the scalar engine's loop body at ``self.cycle``.
+
+        Transcribes the six phases of :meth:`System.run` (deliver
+        completions, advance cores, compute the external-event horizon,
+        batch-run due/dirtied controllers, check termination, pick the
+        next event cycle).  Returns the lane's next event cycle, or
+        ``None`` when the lane finished (then :meth:`finalize`).
+        """
+        system = self.system
+        cycle = self.cycle
+        cores = system.cores
+        controllers = system.controllers
+        demand_map = system._demand_map
+        wake = self.wake
+        heap = self.heap
+        core_next = self.core_next
+
+        # 1. Deliver completed demand fills due by now.
+        next_completion = NEVER
+        for ctrl in controllers:
+            cr = ctrl.completed_reads
+            if not cr:
+                continue
+            if cr[0][0] <= cycle:
+                i = 0
+                n = len(cr)
+                while i < n and cr[i][0] <= cycle:
+                    done_cycle, req = cr[i]
+                    core = demand_map.pop(req.req_id, None)
+                    if core is not None:
+                        core.on_fill_complete(req.req_id, done_cycle)
+                        core_next[core.core_id] = 0
+                    i += 1
+                del cr[:i]
+                if not cr:
+                    continue
+            if cr[0][0] < next_completion:
+                next_completion = cr[0][0]
+
+        # 2. Advance cores (held back under heavy backpressure).
+        stalled = False
+        for ctrl in controllers:
+            if ctrl.overflow:
+                total_overflow = sum(len(c.overflow) for c in controllers)
+                stalled = total_overflow > OVERFLOW_STALL_THRESHOLD
+                break
+        if not stalled:
+            for idx, core in enumerate(cores):
+                if core_next[idx] > cycle:
+                    continue
+                while True:
+                    event = core.try_advance(cycle)
+                    if event is None:
+                        break
+                    system._process_access(core, event, cycle)
+                core_next[idx] = core.next_action_cycle(cycle)
+
+        # 3. External-event horizon for controller batching.
+        core_min = NEVER
+        for action in core_next:
+            if action < core_min:
+                core_min = action
+        limit = next_completion if next_completion < core_min else core_min
+        if limit <= cycle:
+            limit = cycle + 1
+
+        # 4. Batch-run due (heap) and dirtied channels to the horizon.
+        dirty = system._dirty_channels
+        system._dirty_channels = 0
+        while heap and heap[0][0] <= cycle:
+            w, idx = heappop(heap)
+            if w != wake[idx]:
+                continue  # stale entry superseded by a dirty re-run
+            dirty &= ~(1 << idx)
+            w = controllers[idx].run_until(cycle, limit)
+            wake[idx] = w
+            heappush(heap, (w, idx))
+        while dirty:
+            idx = (dirty & -dirty).bit_length() - 1
+            dirty &= dirty - 1
+            w = controllers[idx].run_until(cycle, limit)
+            wake[idx] = w
+            heappush(heap, (w, idx))
+
+        # 5. Termination check — same predicate as the scalar loop.
+        for core in cores:
+            if not core.done:
+                break
+        else:
+            if not any(ctrl.pending for ctrl in controllers) and not any(
+                ctrl.completed_reads for ctrl in controllers
+            ):
+                return None
+
+        # 6. Jump to the lane's earliest future event.
+        while heap and heap[0][0] != wake[heap[0][1]]:
+            heappop(heap)  # shed stale entries so the top is live
+        nxt = heap[0][0] if heap else NEVER
+        if core_min < nxt:
+            nxt = core_min
+        for ctrl in controllers:
+            cr = ctrl.completed_reads
+            if cr and cr[0][0] < nxt:
+                nxt = cr[0][0]
+        self.cycle = nxt if nxt > cycle else cycle + 1
+        return self.cycle
+
+    def finalize(self) -> SimResult:
+        """Flush background state and summarize, as the scalar loop does."""
+        system = self.system
+        end_cycle = self.cycle
+        for ctrl in system.controllers:
+            if ctrl.local_clock > end_cycle:
+                end_cycle = ctrl.local_clock
+        self.result = system._finalize(end_cycle)
+        return self.result
+
+
+class BatchSystem:
+    """N grid points advanced together through one shared event loop."""
+
+    def __init__(
+        self,
+        lanes: Sequence[LaneSpec],
+        events_per_core: int,
+        seed: Optional[int] = None,
+        warmup_events_per_core: Optional[int] = None,
+        snapshot_dir: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        """Build all lanes (shared slabs, snapshots, trace blocks).
+
+        ``lanes`` is one ``(config, workload)`` pair per grid point
+        (workloads may be names).  ``events_per_core`` / ``seed`` /
+        ``warmup_events_per_core`` / ``snapshot_dir`` are grid-wide
+        invariants, exactly as in :class:`~repro.sim.sweep.Sweep`.
+        ``backend`` forces the slab allocation backend (tests); the
+        default follows :func:`repro.dram.soa_batch.default_backend`.
+        """
+        specs: List[Tuple[SystemConfig, Workload]] = []
+        for config, wl in lanes:
+            workload = lookup_workload(wl) if isinstance(wl, str) else wl
+            specs.append((config, workload))
+        if not specs:
+            raise ValueError("BatchSystem needs at least one lane")
+
+        # Slab allocation: one BatchTimingCore per channel index per
+        # geometry group (grids normally share one geometry; mixed
+        # geometries each get their own lane-major slabs).
+        geo_groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for i, (config, _) in enumerate(specs):
+            geo = config.geometry
+            geo_key = (geo.channels, geo.ranks_per_channel, geo.chip.banks)
+            geo_groups.setdefault(geo_key, []).append(i)
+        #: Slab sets per geometry group (introspection/tests).
+        self.slabs: List[List[BatchTimingCore]] = []
+        lane_cores: Dict[int, List[TimingCore]] = {}
+        for (channels, ranks, banks), members in geo_groups.items():
+            slabs = [
+                BatchTimingCore(len(members), ranks, banks, backend=backend)
+                for _ in range(channels)
+            ]
+            self.slabs.append(slabs)
+            for slot, i in enumerate(members):
+                lane_cores[i] = [slab.lane(slot) for slab in slabs]
+
+        # Construction in warm-fingerprint groups: the first lane of a
+        # group builds/loads the snapshot, the rest restore from the
+        # in-process cache (copy-on-write) before another fingerprint
+        # can age it out of the LRU.
+        fp_groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for i, (config, workload) in enumerate(specs):
+            warmup = warmup_events_per_core
+            if warmup is None:
+                warmup = default_warmup(config, workload)
+            resolved_seed = config.seed if seed is None else seed
+            fp = warm_fingerprint(config, workload, resolved_seed, warmup)
+            fp_groups.setdefault(fp, []).append(i)
+
+        systems: List[Optional[System]] = [None] * len(specs)
+        for members in fp_groups.values():
+            for i in members:
+                config, workload = specs[i]
+                systems[i] = System(
+                    config,
+                    workload,
+                    events_per_core,
+                    seed=seed,
+                    warmup_events_per_core=warmup_events_per_core,
+                    snapshot_dir=snapshot_dir,
+                    cow_restore=True,
+                    channel_cores=lane_cores[i],
+                )
+        self.lanes: List[_Lane] = [
+            _Lane(i, system) for i, system in enumerate(systems) if system is not None
+        ]
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_lanes(self) -> int:
+        return len(self.lanes)
+
+    def run(self) -> List[SimResult]:
+        """Drive every lane to completion; results in lane order.
+
+        The shared heap holds ``(cycle, lane_index)``; each pop advances
+        that lane one loop pass and re-keys it.  A lane that terminates
+        finalizes immediately (stats flush + summary) and leaves the
+        heap.  Ties break on lane index, so the interleaving — which
+        cannot affect per-lane state anyway — is deterministic.
+        """
+        if self._ran:
+            raise RuntimeError("BatchSystem.run() may only be called once")
+        self._ran = True
+        results: List[Optional[SimResult]] = [None] * len(self.lanes)
+        heap: List[Tuple[int, int]] = [(0, lane.index) for lane in self.lanes]
+        heapify(heap)
+        lanes = self.lanes
+        while heap:
+            _, index = heappop(heap)
+            lane = lanes[index]
+            nxt = lane.advance()
+            if nxt is None:
+                results[index] = lane.finalize()
+            else:
+                heappush(heap, (nxt, index))
+        final = [result for result in results if result is not None]
+        if len(final) != len(self.lanes):  # pragma: no cover - defensive
+            raise RuntimeError("batch run finished with unfinalized lanes")
+        return final
+
+
+def simulate_batch(
+    lanes: Sequence[LaneSpec],
+    events_per_core: int,
+    seed: Optional[int] = None,
+    warmup_events_per_core: Optional[int] = None,
+    snapshot_dir: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> List[SimResult]:
+    """Convenience one-shot: build a :class:`BatchSystem` and run it."""
+    return BatchSystem(
+        lanes,
+        events_per_core,
+        seed=seed,
+        warmup_events_per_core=warmup_events_per_core,
+        snapshot_dir=snapshot_dir,
+        backend=backend,
+    ).run()
+
+
+def _run_lane_group(ctx: SweepContext, points: List[Dict]) -> List[Dict]:
+    """Sweep/pool task body: one whole lane-group per task.
+
+    ``ctx`` is the grid-wide :data:`~repro.sim.sweep.SweepContext`;
+    ``points`` are the group's point dicts (config deltas).  Runs the
+    group as one :class:`BatchSystem` and returns the flattened result
+    rows in group order.  Module-level so :class:`~repro.sim.pool
+    .SimPool` workers can unpickle it by reference.
+    """
+    base_config, events, seed, warmup, snapshot_dir = ctx
+    specs: List[LaneSpec] = [
+        (_apply_point(base_config, point), point["workload"]) for point in points
+    ]
+    results = simulate_batch(
+        specs,
+        events,
+        seed=seed,
+        warmup_events_per_core=warmup,
+        snapshot_dir=snapshot_dir,
+    )
+    rows: List[Dict] = []
+    for point, result in zip(points, results):
+        row = {**point}
+        row.update(result.summary())
+        rows.append(row)
+    return rows

@@ -181,23 +181,29 @@ def capture_warm_state(
 
 
 def restore_warm_state(
-    hierarchy: "CacheHierarchy", snapshot: WarmSnapshot
+    hierarchy: "CacheHierarchy", snapshot: WarmSnapshot, cow: bool = False
 ) -> None:
     """Copy a snapshot into a freshly built (cold) hierarchy.
 
     Restore is copy-in, so the snapshot stays pristine in the cache
-    while the restored System mutates its own state.
+    while the restored System mutates its own state.  ``cow=True``
+    selects the copy-on-write restore used by the batch kernel
+    (:mod:`repro.sim.batch`): per-set tag dicts / DBI rows stay shared
+    with the snapshot until first mutation, so N lanes restoring from
+    one snapshot pay the expensive per-set copies only for the sets
+    they actually touch.  Observable state evolution is identical; the
+    eager default remains the oracle path.
     """
-    hierarchy.l2.restore_state(snapshot.l2)
+    hierarchy.l2.restore_state(snapshot.l2, cow=cow)
     if snapshot.l1s is not None:
         if hierarchy.l1s is None or len(hierarchy.l1s) != len(snapshot.l1s):
             raise ValueError("snapshot L1 layout does not match this hierarchy")
         for l1, state in zip(hierarchy.l1s, snapshot.l1s):
-            l1.restore_state(state)
+            l1.restore_state(state, cow=cow)
     if snapshot.dbi_rows is not None:
         if hierarchy.dbi is None:
             raise ValueError("snapshot carries DBI state but hierarchy has none")
-        hierarchy.dbi.restore_rows(snapshot.dbi_rows)
+        hierarchy.dbi.restore_rows(snapshot.dbi_rows, cow=cow)
 
 
 class SnapshotCache:

@@ -31,7 +31,12 @@ Execution backends, all bit-identical row for row:
 * ``run(pool=...)`` — a persistent :class:`repro.sim.pool.SimPool`
   whose warm workers carry snapshot/trace caches across points *and*
   across sweeps; points are grouped by warm fingerprint so each
-  fingerprint warms exactly one worker.
+  fingerprint warms exactly one worker;
+* ``run(batch=N)`` — the lane-parallel batch kernel
+  (:mod:`repro.sim.batch`): up to N points advance together through
+  one shared event loop, sharing warm snapshots (copy-on-write) and
+  compiled trace blocks; combines with ``pool`` to ship whole lane
+  groups per task.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ import csv
 import itertools
 import json
 import multiprocessing
+from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -203,6 +209,7 @@ class Sweep:
         workers: Optional[int] = None,
         pool: "Optional[SimPool]" = None,
         mp_start: Optional[str] = None,
+        batch: Optional[int] = None,
     ) -> List[Dict]:
         """Execute the grid; returns (and stores) one row per point.
 
@@ -211,15 +218,32 @@ class Sweep:
         grouped scheduling).  ``workers`` > 1 fans the points out over
         a throwaway process pool instead; ``mp_start`` selects its
         multiprocessing start method (``"spawn"`` models the fully
-        cold worker cost, ``None`` uses the platform default).  Every
-        point carries the same deterministic seed on every backend and
-        the rows are merged back in grid order, so parallel and pooled
-        sweeps are row-for-row identical to a serial one.
+        cold worker cost, ``None`` uses the platform default).
+
+        ``batch=N`` selects the lane-parallel batch kernel
+        (:mod:`repro.sim.batch`): points are chunked into lane groups
+        of up to N and each group advances through one shared
+        :class:`~repro.sim.batch.BatchSystem` event loop.  Groups are
+        cut along warm-fingerprint order so lanes in a group share
+        snapshots and trace blocks.  Combines with ``pool``: each lane
+        group then ships whole to a warm worker
+        (:meth:`~repro.sim.pool.SimPool.map_groups`), amortizing the
+        per-point IPC as well.
+
+        Every point carries the same deterministic seed on every
+        backend and the rows are merged back in grid order, so
+        parallel, pooled and batched sweeps are row-for-row identical
+        to a serial one.
         """
         tasks = self._tasks()
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
+        if batch is not None and batch < 1:
+            raise ValueError("batch must be a positive integer")
         ctx = self._context()
+        if batch is not None and batch > 1 and len(tasks) > 1:
+            self.rows = self._run_batched(tasks, ctx, batch, pool)
+            return self.rows
         if pool is not None:
             self.rows = pool.map(
                 _run_point,
@@ -238,6 +262,49 @@ class Sweep:
         else:
             self.rows = [_run_point(ctx, task) for task in tasks]
         return self.rows
+
+    def _run_batched(
+        self,
+        tasks: List[Dict],
+        ctx: SweepContext,
+        batch: int,
+        pool: "Optional[SimPool]",
+    ) -> List[Dict]:
+        """Run the grid through the batch kernel in lane groups.
+
+        Points are reordered so same-fingerprint points sit adjacent,
+        then cut into groups of up to ``batch`` lanes: a group whose
+        lanes share a fingerprint restores from one warm snapshot
+        (copy-on-write) and shares one compiled trace-block set, and a
+        group spanning fingerprints still amortizes the event-loop
+        interpreter overhead.  Rows come back in grid order regardless.
+        """
+        # Imported here: repro.sim.batch imports this module at top
+        # level (for SweepContext/_apply_point), so the lazy import
+        # breaks the cycle.
+        from repro.sim.batch import _run_lane_group
+
+        order: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for index, point in enumerate(tasks):
+            order.setdefault(self._group_key(point), []).append(index)
+        ordered = [index for members in order.values() for index in members]
+        chunks = [ordered[i : i + batch] for i in range(0, len(ordered), batch)]
+        payloads = [[tasks[index] for index in chunk] for chunk in chunks]
+        if pool is not None:
+            flat = pool.map_groups(
+                _run_lane_group,
+                payloads,
+                shared=ctx,
+                group_keys=[self._group_key(group[0]) for group in payloads],
+            )
+        else:
+            flat = [
+                row for group in payloads for row in _run_lane_group(ctx, group)
+            ]
+        rows: List[Optional[Dict]] = [None] * len(tasks)
+        for index, row in zip(ordered, flat):
+            rows[index] = row
+        return [row for row in rows if row is not None]
 
     # ------------------------------------------------------------------
     def to_csv(self, path: str) -> None:

@@ -24,6 +24,7 @@ from itertools import islice
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 if TYPE_CHECKING:
+    from repro.dram.soa import TimingCore
     from repro.sim.sampling import EpochSampler
 
 from repro.cache.dbi import DirtyBlockIndex
@@ -83,6 +84,8 @@ class System:
         precompiled_traces: bool = True,
         use_snapshots: bool = True,
         snapshot_dir: Optional[str] = None,
+        cow_restore: bool = False,
+        channel_cores: Optional[List["TimingCore"]] = None,
     ) -> None:
         """Build the platform.
 
@@ -112,6 +115,14 @@ class System:
           (:attr:`snapshot_restored` reports whether it happened);
         * ``snapshot_dir`` opts into the on-disk snapshot layer (the
           ``REPRO_SNAPSHOT_DIR`` environment variable does the same).
+
+        The batch kernel (:mod:`repro.sim.batch`) passes two extra
+        hooks: ``cow_restore`` restores warm snapshots copy-on-write
+        (bit-identical, just lazier — see
+        :func:`repro.sim.snapshot.restore_warm_state`), and
+        ``channel_cores`` injects one externally allocated
+        :class:`~repro.dram.soa.TimingCore` per channel (a lane row of
+        a :class:`~repro.dram.soa_batch.BatchTimingCore`).
         """
         if events_per_core <= 0:
             raise ValueError("events_per_core must be positive")
@@ -129,6 +140,8 @@ class System:
             chips_per_rank=geo.chips_per_rank,
             ecc_chips=config.ecc_chips,
         )
+        if channel_cores is not None and len(channel_cores) != geo.channels:
+            raise ValueError("need one injected TimingCore per channel")
         self.channels: List[Channel] = [
             Channel(
                 config.timing,
@@ -136,8 +149,9 @@ class System:
                 num_banks=geo.chip.banks,
                 relax_act_constraints=scheme.relax_act_constraints,
                 burst_cycles_multiplier=scheme.burst_multiplier,
+                core=None if channel_cores is None else channel_cores[idx],
             )
-            for _ in range(geo.channels)
+            for idx in range(geo.channels)
         ]
         ctrl_cfg = config.controller
         self.controllers: List[ChannelController] = [
@@ -165,12 +179,40 @@ class System:
         if self._sanitize:
             attach_checkers(self)
 
+        if warmup_events_per_core is None:
+            warmup_events_per_core = default_warmup(config, workload)
+        self.warmup_events_per_core = warmup_events_per_core
+
+        if trace_overrides is not None and len(trace_overrides) != workload.num_cores:
+            raise ValueError("need one trace override per core")
+
+        # Probe the snapshot cache *before* building the hierarchy: with
+        # a warm snapshot in hand, the caches skip allocating their
+        # per-set containers (restore replaces them wholesale), which is
+        # the dominant construction cost on large LLCs.
+        fast_path = trace_overrides is None and precompiled_traces
+        disk_dir = None
+        key = None
+        snapshot = None
+        if fast_path and use_snapshots:
+            disk_dir = snapshot_disk_dir(snapshot_dir)
+            key = warm_fingerprint(config, workload, seed, warmup_events_per_core)
+            snapshot = SNAPSHOTS.lookup(key, disk_dir)
+        lazy_sets = snapshot is not None
+
         cache_cfg = config.cache
-        l2 = SetAssociativeCache(cache_cfg.llc_bytes, cache_cfg.llc_ways, name="L2")
+        l2 = SetAssociativeCache(
+            cache_cfg.llc_bytes, cache_cfg.llc_ways, name="L2", lazy_sets=lazy_sets
+        )
         l1s = None
         if cache_cfg.use_l1:
             l1s = [
-                SetAssociativeCache(cache_cfg.l1_bytes, cache_cfg.l1_ways, name=f"L1-{i}")
+                SetAssociativeCache(
+                    cache_cfg.l1_bytes,
+                    cache_cfg.l1_ways,
+                    name=f"L1-{i}",
+                    lazy_sets=lazy_sets,
+                )
                 for i in range(workload.num_cores)
             ]
         dbi = None
@@ -180,13 +222,6 @@ class System:
                 max_writebacks=cache_cfg.dbi_max_writebacks,
             )
         self.hierarchy = CacheHierarchy(l2, l1s=l1s, dbi=dbi)
-
-        if warmup_events_per_core is None:
-            warmup_events_per_core = default_warmup(config, workload)
-        self.warmup_events_per_core = warmup_events_per_core
-
-        if trace_overrides is not None and len(trace_overrides) != workload.num_cores:
-            raise ValueError("need one trace override per core")
 
         #: Whether this System skipped warmup via a snapshot restore.
         self.snapshot_restored = False
@@ -203,24 +238,18 @@ class System:
                 rob_instructions=core_cfg.rob_instructions,
             )
 
-        if trace_overrides is None and precompiled_traces:
-            # Fast path: shared trace blocks + warm-state snapshots.
+        if fast_path:
+            # Fast path: shared trace blocks + warm-state snapshots
+            # (the snapshot itself was already looked up above).
             blocks_per_core = [
                 compiled_trace(profile, seed=seed, core_id=core_id)
                 for core_id, profile in enumerate(workload.apps)
             ]
-            disk_dir = snapshot_disk_dir(snapshot_dir) if use_snapshots else None
-            key = None
-            if use_snapshots:
-                key = warm_fingerprint(
-                    config, workload, seed, warmup_events_per_core
-                )
-                snapshot = SNAPSHOTS.lookup(key, disk_dir)
-                if snapshot is not None:
-                    restore_warm_state(self.hierarchy, snapshot)
-                    self.snapshot_restored = True
-                    if self._sanitize:
-                        verify_restore(self.hierarchy, snapshot)
+            if snapshot is not None:
+                restore_warm_state(self.hierarchy, snapshot, cow=cow_restore)
+                self.snapshot_restored = True
+                if self._sanitize:
+                    verify_restore(self.hierarchy, snapshot)
             if not self.snapshot_restored:
                 for core_id, blocks in enumerate(blocks_per_core):
                     blocks.ensure(warmup_events_per_core)
@@ -602,7 +631,9 @@ class System:
             activation_histogram=dict(self.accountant.activations_by_granularity),
             llc=self.hierarchy.l2.stats,
             dirty_word_fractions=self.hierarchy.dirty_word_fractions(),
-            dbi_proactive_writebacks=dbi.proactive_writebacks if dbi else 0,
+            dbi_proactive_writebacks=(
+                dbi.proactive_writebacks if dbi is not None else 0
+            ),
         )
 
 

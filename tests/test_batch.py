@@ -1,0 +1,332 @@
+"""Oracle-parity tests for the lane-parallel batch kernel.
+
+``repro.sim.batch`` and ``repro.dram.soa_batch`` are registered fast
+paths: every lane of a :class:`BatchSystem` must produce a
+:class:`SimResult` bit-identical to running that lane's (config,
+workload) through the scalar ``System.run`` on its own — values *and*
+structure, pinned here via ``to_dict()`` deep equality.  These tests
+cover both slab backends (numpy and the pure-list fallback), batches
+mixing snapshot-restored and cold lanes, the ``Sweep.run(batch=N)``
+and ``SimPool.map_groups`` integration layers, the CLI worker-budget
+guard, and a hypothesis property test driving randomized lane
+counts/configs through the kernel.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.core.schemes import by_name
+from repro.dram.soa_batch import (
+    BACKENDS,
+    BatchTimingCore,
+    HAVE_NUMPY,
+    default_backend,
+)
+from repro.sim.batch import BatchSystem, simulate_batch
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.pool import SimPool, SimPoolError
+from repro.sim.snapshot import SNAPSHOTS
+from repro.sim.sweep import Sweep
+from repro.sim.system import System
+from repro.workloads.mixes import workload as lookup_workload
+
+SMALL_CACHE = CacheConfig(llc_bytes=128 * 1024)
+EVENTS = 400
+WARMUP = 1200
+
+#: Skip marker for tests that exercise the numpy backend specifically.
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy not installed (pip install 'repro[fast]')"
+)
+
+
+def _specs(schemes=("Baseline", "PRA", "SDS", "DBI+PRA"), workloads=("GUPS", "MIX1")):
+    base = SystemConfig(cache=SMALL_CACHE)
+    return [
+        (base.with_scheme(by_name(scheme)), wl)
+        for scheme in schemes
+        for wl in workloads
+    ]
+
+
+def _serial(specs, events=EVENTS, warmup=WARMUP):
+    """The scalar oracle: each lane run on its own, cold caches."""
+    SNAPSHOTS.clear()
+    out = []
+    for config, wl in specs:
+        system = System(
+            config, lookup_workload(wl), events, warmup_events_per_core=warmup
+        )
+        out.append(system.run().to_dict())
+    return out
+
+
+def _small_sweep():
+    sweep = Sweep(
+        events_per_core=EVENTS,
+        base_config=SystemConfig(cache=SMALL_CACHE),
+        warmup_events_per_core=WARMUP,
+    )
+    sweep.add_axis("scheme", ["Baseline", "PRA", "SDS", "DBI+PRA"])
+    sweep.add_axis("workload", ["GUPS", "MIX1"])
+    return sweep
+
+
+# ----------------------------------------------------------------------
+class TestLaneBitIdentity:
+    @pytest.mark.parametrize(
+        "backend",
+        [pytest.param("numpy", marks=needs_numpy), "list"],
+    )
+    def test_every_lane_matches_its_serial_run(self, backend):
+        specs = _specs()
+        serial = _serial(specs)
+        SNAPSHOTS.clear()
+        results = simulate_batch(
+            specs, EVENTS, warmup_events_per_core=WARMUP, backend=backend
+        )
+        assert [r.to_dict() for r in results] == serial
+
+    def test_mixed_cold_and_snapshot_restored_lanes(self):
+        # With a cold snapshot cache, the first lane of each warm
+        # fingerprint warms cold and stores; the rest of its group
+        # restore copy-on-write — a genuinely mixed batch.
+        specs = _specs()
+        serial = _serial(specs)
+        SNAPSHOTS.clear()
+        batch = BatchSystem(specs, EVENTS, warmup_events_per_core=WARMUP)
+        restored = [lane.system.snapshot_restored for lane in batch.lanes]
+        assert True in restored and False in restored
+        assert [r.to_dict() for r in batch.run()] == serial
+
+    def test_all_lanes_snapshot_restored(self):
+        specs = _specs()
+        serial = _serial(specs)  # leaves SNAPSHOTS warm
+        batch = BatchSystem(specs, EVENTS, warmup_events_per_core=WARMUP)
+        assert all(lane.system.snapshot_restored for lane in batch.lanes)
+        assert [r.to_dict() for r in batch.run()] == serial
+
+    def test_single_lane_batch(self):
+        specs = _specs(schemes=("DBI+PRA",), workloads=("MIX1",))
+        serial = _serial(specs)
+        SNAPSHOTS.clear()
+        results = simulate_batch(specs, EVENTS, warmup_events_per_core=WARMUP)
+        assert [r.to_dict() for r in results] == serial
+
+    def test_run_is_single_shot(self):
+        specs = _specs(schemes=("Baseline",), workloads=("GUPS",))
+        batch = BatchSystem(specs, 100, warmup_events_per_core=200)
+        batch.run()
+        with pytest.raises(RuntimeError, match="only be called once"):
+            batch.run()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one lane"):
+            BatchSystem([], 100)
+
+
+# ----------------------------------------------------------------------
+class TestSweepIntegration:
+    def test_sweep_batched_identical_to_serial(self):
+        SNAPSHOTS.clear()
+        serial = _small_sweep().run()
+        SNAPSHOTS.clear()
+        batched = _small_sweep().run(batch=4)
+        assert batched == serial  # values AND grid ordering
+
+    def test_sweep_batched_on_pool_identical_to_serial(self):
+        SNAPSHOTS.clear()
+        serial = _small_sweep().run()
+        with SimPool(workers=1) as pool:
+            batched = _small_sweep().run(pool=pool, batch=3)
+        assert batched == serial
+
+    def test_batch_size_larger_than_grid(self):
+        SNAPSHOTS.clear()
+        serial = _small_sweep().run()
+        SNAPSHOTS.clear()
+        batched = _small_sweep().run(batch=64)
+        assert batched == serial
+
+    def test_batch_of_one_falls_back_to_serial_path(self):
+        SNAPSHOTS.clear()
+        serial = _small_sweep().run()
+        SNAPSHOTS.clear()
+        assert _small_sweep().run(batch=1) == serial
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            _small_sweep().run(batch=0)
+
+
+# ----------------------------------------------------------------------
+def _double_each(shared, group):
+    return [shared * item for item in group]
+
+
+def _wrong_shape(shared, group):
+    return "not a list"
+
+
+class TestMapGroups:
+    def test_flattens_in_submission_order(self):
+        groups = [[1, 2], [3], [4, 5, 6]]
+        with SimPool(workers=2) as pool:
+            flat = pool.map_groups(_double_each, groups, shared=10)
+        assert flat == [10, 20, 30, 40, 50, 60]
+
+    def test_misshapen_group_result_rejected(self):
+        pool = SimPool(workers=1)
+        try:
+            with pytest.raises(SimPoolError, match="one result per group item"):
+                pool.map_groups(_wrong_shape, [[1, 2]])
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+class TestSlab:
+    @pytest.mark.parametrize(
+        "backend",
+        [pytest.param("numpy", marks=needs_numpy), "list"],
+    )
+    def test_backends_allocate_identical_state(self, backend):
+        slab = BatchTimingCore(3, 2, 8, backend=backend)
+        reference = BatchTimingCore(3, 2, 8, backend="list")
+        for field in BatchTimingCore.__slots__:
+            if field in ("backend",):
+                continue
+            assert getattr(slab, field) == getattr(reference, field), field
+
+    def test_lane_views_alias_slab_rows(self):
+        slab = BatchTimingCore(2, 2, 8, backend="list")
+        lane0 = slab.lane(0)
+        lane1 = slab.lane(1)
+        lane0.open_row[3] = 77
+        assert slab.open_row[0][3] == 77
+        assert lane1.open_row[3] == -1  # other lanes unaffected
+        assert slab.open_banks_per_lane() == [1, 0]
+
+    def test_reset_lane_preserves_row_identity(self):
+        slab = BatchTimingCore(2, 2, 8, backend="list")
+        lane = slab.lane(0)
+        lane.open_row[0] = 5
+        lane.gate[1] = 9
+        slab.reset_lane(0)
+        assert lane.open_row[0] == -1  # view saw the reset in place
+        assert lane.gate[1] == 0
+
+    def test_geometry_and_lane_validation(self):
+        with pytest.raises(ValueError, match="at least one lane"):
+            BatchTimingCore(0, 2, 8)
+        slab = BatchTimingCore(1, 2, 8, backend="list")
+        with pytest.raises(IndexError, match="out of range"):
+            slab.lane(1)
+        with pytest.raises(ValueError, match="unknown backend"):
+            BatchTimingCore(1, 2, 8, backend="cuda")
+
+    def test_default_backend_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_BACKEND", "list")
+        assert default_backend() == "list"
+        monkeypatch.setenv("REPRO_BATCH_BACKEND", "weird")
+        with pytest.raises(ValueError, match="REPRO_BATCH_BACKEND"):
+            default_backend()
+        monkeypatch.delenv("REPRO_BATCH_BACKEND")
+        assert default_backend() in BACKENDS
+
+
+# ----------------------------------------------------------------------
+class TestWorkerBudgetGuard:
+    def test_sweep_pool_over_cpu_budget_exits_nonzero(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.setattr(cli, "_available_cpus", lambda: 2)
+        out = str(tmp_path / "grid.csv")
+        rc = cli.main(["sweep", "--pool", "3", "--out", out])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--pool 3 exceeds the 2 available CPU" in err
+
+    def test_sweep_workers_over_cpu_budget_exits_nonzero(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.setattr(cli, "_available_cpus", lambda: 1)
+        out = str(tmp_path / "grid.csv")
+        rc = cli.main(["sweep", "--workers", "8", "--out", out])
+        assert rc == 2
+        assert "--workers 8 exceeds" in capsys.readouterr().err
+
+    def test_bench_pool_over_cpu_budget_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "_available_cpus", lambda: 2)
+        rc = cli.main(["bench", "--suite", "quick", "--pool", "16"])
+        assert rc == 2
+        assert "--pool 16 exceeds the 2 available CPU" in capsys.readouterr().err
+
+    def test_bench_default_pool_respects_cpu_budget(self, monkeypatch):
+        # The default (no explicit --pool) must resolve to a legal
+        # worker count instead of tripping the guard on small machines.
+        monkeypatch.setattr(cli, "_available_cpus", lambda: 1)
+        args = cli.build_parser().parse_args(["bench", "--suite", "quick"])
+        assert args.pool is None  # resolved inside cmd_bench, not argparse
+
+    def test_within_budget_passes(self, monkeypatch):
+        monkeypatch.setattr(cli, "_available_cpus", lambda: 4)
+        cli._check_worker_budget("--pool", 4)  # no raise
+
+    def test_invalid_batch_exits_nonzero(self, tmp_path, capsys):
+        out = str(tmp_path / "grid.csv")
+        rc = cli.main(["sweep", "--batch", "0", "--out", out])
+        assert rc == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_cli_batched_sweep_matches_plain(self, tmp_path):
+        plain, batched = tmp_path / "plain.csv", tmp_path / "batched.csv"
+        common = [
+            "sweep", "--schemes", "Baseline", "PRA", "--workloads", "GUPS",
+            "--events", "300",
+        ]
+        assert cli.main(common + ["--out", str(plain)]) == 0
+        assert cli.main(common + ["--batch", "2", "--out", str(batched)]) == 0
+        assert batched.read_text() == plain.read_text()
+
+
+# ----------------------------------------------------------------------
+# Property test: randomized lane counts and configurations, every lane
+# bit-identical to its serial run.  DBI+PRA lanes are always in the mix
+# (distinct warm fingerprint → snapshot-restored and cold lanes coexist
+# in one batch), and duplicate specs exercise multi-lane fingerprint
+# groups sharing one snapshot copy-on-write.
+_SCHEME_NAMES = ["Baseline", "PRA", "SDS", "DBI+PRA"]
+_WORKLOADS = ["GUPS", "MIX1"]
+
+lane_choices = st.lists(
+    st.tuples(
+        st.sampled_from(_SCHEME_NAMES),
+        st.sampled_from(_WORKLOADS),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(lanes=lane_choices, events=st.integers(min_value=50, max_value=250))
+@settings(max_examples=5, deadline=None)
+def test_randomized_batches_match_serial(lanes, events):
+    base = SystemConfig(cache=CacheConfig(llc_bytes=64 * 1024))
+    # Always include a DBI+PRA lane so DBI state (separate fingerprint,
+    # tuple-COW restore path) is exercised in every example.
+    lanes = lanes + [("DBI+PRA", "MIX1")]
+    specs = [(base.with_scheme(by_name(s)), wl) for s, wl in lanes]
+    warmup = 600
+    SNAPSHOTS.clear()
+    serial = []
+    for config, wl in specs:
+        system = System(
+            config, lookup_workload(wl), events, warmup_events_per_core=warmup
+        )
+        serial.append(system.run().to_dict())
+    SNAPSHOTS.clear()
+    results = simulate_batch(specs, events, warmup_events_per_core=warmup)
+    assert [r.to_dict() for r in results] == serial

@@ -67,6 +67,86 @@ def test_tests_tree_lints_clean():
 
 
 # ----------------------------------------------------------------------
+# Fast-path registration coverage: the oracle-parity rules must be
+# *armed* for the performance-critical modules, not just pass on them.
+# ----------------------------------------------------------------------
+BATCH_FAST_PATHS = (
+    "src/repro/dram/soa_batch.py",
+    "src/repro/sim/batch.py",
+)
+
+
+@pytest.mark.parametrize("rel_path", BATCH_FAST_PATHS)
+def test_batch_modules_are_registered_fast_paths(rel_path):
+    """The batch-kernel modules are in the registry and lint armed.
+
+    Registration is what makes ``oracle-twin-undeclared`` /
+    ``oracle-test-missing`` fire if a future edit drops the
+    declarations; an unregistered module passes vacuously.
+    """
+    from repro.analysis.registry import FAST_PATH_MODULES, is_registered_fast_path
+
+    assert rel_path in FAST_PATH_MODULES
+    assert is_registered_fast_path(os.path.join(REPO_ROOT, rel_path))
+
+
+@pytest.mark.parametrize(
+    "module_name", ["repro.dram.soa_batch", "repro.sim.batch"]
+)
+def test_batch_oracle_declarations_resolve(module_name):
+    """ORACLE_TWIN / ORACLE_TESTS on the batch modules are live.
+
+    The twin's dotted path must import (module, optionally attribute)
+    and every declared equivalence test must exist and mention the
+    module, so the pairing cannot silently rot.
+    """
+    import importlib
+
+    module = importlib.import_module(module_name)
+    assert module.REPRO_FAST_PATH is True
+
+    twin = module.ORACLE_TWIN
+    parts = twin.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        for attr in parts[split:]:
+            obj = getattr(obj, attr)
+        break
+    else:
+        pytest.fail(f"ORACLE_TWIN {twin!r} does not import")
+
+    stem = module_name.rsplit(".", 1)[1]
+    for test_rel in module.ORACLE_TESTS:
+        test_path = os.path.join(REPO_ROOT, test_rel)
+        assert os.path.isfile(test_path), test_rel
+        with open(test_path, encoding="utf-8") as handle:
+            assert stem in handle.read(), (
+                f"{test_rel} never references {stem}"
+            )
+
+
+@pytest.mark.parametrize("rel_path", BATCH_FAST_PATHS)
+def test_batch_modules_trip_rule_without_declarations(rel_path, tmp_path):
+    """Stripping the declarations from a registered path fails lint."""
+    source = open(os.path.join(REPO_ROOT, rel_path), encoding="utf-8").read()
+    stripped = "\n".join(
+        line for line in source.splitlines()
+        if not line.startswith(("ORACLE_TWIN", "ORACLE_TESTS"))
+    )
+    # Recreate the registered repo-relative path under tmp_path so the
+    # path-based registry match still fires.
+    clone = tmp_path / rel_path
+    clone.parent.mkdir(parents=True)
+    clone.write_text(stripped)
+    rules = {f.rule for f in check_file(str(clone), repo_root=str(tmp_path))}
+    assert "oracle-twin-undeclared" in rules
+    assert "oracle-test-missing" in rules
+
+
+# ----------------------------------------------------------------------
 # Every rule has a fixture that trips it.
 # ----------------------------------------------------------------------
 def test_every_rule_has_a_fixture():
