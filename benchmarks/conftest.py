@@ -15,9 +15,20 @@ the warm workers keep snapshot and trace-block caches across all 21
 benchmark modules (results are bit-identical to in-process runs)::
 
     REPRO_POOL=4 pytest benchmarks/ --benchmark-only -s
+
+Sessions that refresh ``BENCH_throughput.json`` (the meta-benchmarks
+in ``test_simulator_throughput.py`` / ``test_sweep_throughput.py``)
+also append one line to ``BENCH_history.jsonl`` — commit sha,
+timestamp, and every performance section — so the repo accumulates a
+perf trajectory per commit that CI archives alongside the snapshot
+numbers.
 """
 
+import json
 import os
+import subprocess
+import time
+from pathlib import Path
 
 import pytest
 
@@ -36,6 +47,73 @@ POOL_WORKERS = int(os.environ.get("REPRO_POOL", "0"))
 
 #: The paper's 14 multiprogrammed workloads, in presentation order.
 WORKLOAD_ORDER = list(BENCHMARKS) + [f"MIX{i}" for i in range(1, 7)]
+
+#: Snapshot numbers written by the throughput meta-benchmarks.
+THROUGHPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+#: Per-commit perf trajectory: one JSON line per benchmark session
+#: that refreshed the throughput snapshot.
+HISTORY_PATH = THROUGHPUT_PATH.with_name("BENCH_history.jsonl")
+
+
+def _git_head() -> "str | None":
+    """Current commit sha (with ``-dirty`` suffix), or None outside git."""
+    root = str(THROUGHPUT_PATH.parent)
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+        if sha.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    head = sha.stdout.strip()
+    if status.returncode == 0 and status.stdout.strip():
+        head += "-dirty"
+    return head
+
+
+def _throughput_mtime() -> "float | None":
+    try:
+        return THROUGHPUT_PATH.stat().st_mtime
+    except OSError:
+        return None
+
+
+def pytest_sessionstart(session):
+    """Remember the throughput snapshot's pre-session mtime."""
+    session.config._repro_bench_mtime = _throughput_mtime()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append a perf-trajectory line when the snapshot was refreshed.
+
+    Only sessions that actually rewrote ``BENCH_throughput.json``
+    append (figure-only benchmark runs leave the history untouched),
+    so every line corresponds to fresh numbers.  Failures to read git
+    state degrade to ``"commit": null`` rather than failing the
+    session — the history is an artifact, never a gate.
+    """
+    before = getattr(session.config, "_repro_bench_mtime", None)
+    if _throughput_mtime() in (None, before):
+        return
+    try:
+        sections = json.loads(THROUGHPUT_PATH.read_text())
+    except (OSError, ValueError):
+        return
+    record = {
+        "commit": _git_head(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "exitstatus": int(getattr(exitstatus, "value", exitstatus)),
+        "sections": sections,
+    }
+    with HISTORY_PATH.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -8,16 +8,22 @@ The backing store is array-based: instead of one ``CacheLine`` object
 per resident line plus a global ``itertools.count`` LRU clock, each
 set keeps a ``tag -> slot`` dict into three flat integer arrays
 (line address, dirty mask, LRU stamp) shared by all sets.  A hit is a
-dict probe plus two list writes — no object allocation anywhere on the
-hot path — and the whole cache state is a handful of picklable lists,
+dict probe plus two array writes — no object allocation anywhere on the
+hot path — and the whole cache state is a handful of picklable arrays,
 which is what makes the warm-state snapshot cache
-(:mod:`repro.sim.snapshot`) a plain copy.  ``lookup`` and the ``_sets``
-compatibility property materialize :class:`~repro.cache.line.LineView`
-write-through views on demand for tests and introspection.
+(:mod:`repro.sim.snapshot`) a plain copy.  The flat arrays are
+``array('q')`` rather than lists: a snapshot restore copies them with
+one ``memcpy`` instead of a pointer-copy-plus-incref per element, and
+the buffers are invisible to the cyclic GC — both of which matter when
+the batch kernel restores dozens of lanes from one snapshot back to
+back.  ``lookup`` and the ``_sets`` compatibility property materialize
+:class:`~repro.cache.line.LineView` write-through views on demand for
+tests and introspection.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -102,9 +108,10 @@ class SetAssociativeCache:
             [] if lazy_sets else [dict() for _ in range(self.num_sets)]
         )
         #: Flat per-slot state arrays (parallel; indexed by slot).
-        self._addr: List[int] = [0] * slots
-        self._mask: List[int] = [0] * slots
-        self._stamps: List[int] = [0] * slots
+        zeros = b"" if lazy_sets else bytes(8 * slots)
+        self._addr = array("q", zeros)
+        self._mask = array("q", zeros)
+        self._stamps = array("q", zeros)
         #: Per-set stack of unoccupied slots.
         self._free: List[List[int]] = (
             []
@@ -118,8 +125,9 @@ class SetAssociativeCache:
         self._stamp_counter = 0
         #: Copy-on-write restore bookkeeping: ``None`` when every set's
         #: tag dict / free stack is privately owned (the eager default),
-        #: else the set indices still aliasing a shared snapshot.
-        self._cow_sets: Optional[set] = None
+        #: else the (initially empty) indices privatized so far — every
+        #: other set still aliases a shared snapshot.
+        self._cow_owned: Optional[set] = None
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -151,13 +159,11 @@ class SetAssociativeCache:
         touches the (always private) flat arrays, so the check sits on
         the miss/evict/invalidate paths only.
         """
-        cow = self._cow_sets
-        if cow is not None and set_idx in cow:
+        owned = self._cow_owned
+        if owned is not None and set_idx not in owned:
             self._tags[set_idx] = dict(self._tags[set_idx])
             self._free[set_idx] = list(self._free[set_idx])
-            cow.remove(set_idx)
-            if not cow:
-                self._cow_sets = None
+            owned.add(set_idx)
         return self._tags[set_idx]
 
     # ------------------------------------------------------------------
@@ -185,7 +191,7 @@ class SetAssociativeCache:
             return (True, None)
         stats.misses += 1
         victim: Optional[Eviction] = None
-        if self._cow_sets is not None:
+        if self._cow_owned is not None:
             tags = self._own_set(set_idx)
         if len(tags) >= self.ways:
             victim, slot = self._evict_slot(tags)
@@ -222,7 +228,7 @@ class SetAssociativeCache:
             self._stamps[slot] = stamp
             return None
         victim: Optional[Eviction] = None
-        if self._cow_sets is not None:
+        if self._cow_owned is not None:
             tags = self._own_set(set_idx)
         if len(tags) >= self.ways:
             victim, slot = self._evict_slot(tags)
@@ -246,7 +252,7 @@ class SetAssociativeCache:
     def invalidate(self, line_addr: int) -> Optional[Eviction]:
         """Drop a line; returns it (with dirty state) if present."""
         set_idx = line_addr % self.num_sets
-        if self._cow_sets is not None:
+        if self._cow_owned is not None:
             self._own_set(set_idx)
         slot = self._tags[set_idx].pop(line_addr // self.num_sets, None)
         if slot is None:
@@ -281,14 +287,14 @@ class SetAssociativeCache:
         """Snapshot the full tag/dirty/LRU state as picklable copies.
 
         The returned tuple is independent of the live cache (plain
-        dict/list copies), so it can sit in the warm-state snapshot
-        cache while Systems restored from it keep mutating.
+        dict/array/list copies), so it can sit in the warm-state
+        snapshot cache while Systems restored from it keep mutating.
         """
         return (
             [dict(tags) for tags in self._tags],
-            list(self._addr),
-            list(self._mask),
-            list(self._stamps),
+            self._addr[:],
+            self._mask[:],
+            self._stamps[:],
             [list(free) for free in self._free],
             self._stamp_counter,
         )
@@ -301,27 +307,33 @@ class SetAssociativeCache:
         (eviction scans iterate the tag dicts).
 
         ``cow=True`` selects the copy-on-write restore the batch kernel
-        uses: the flat arrays are still plainly copied (C-level, cheap)
-        but the per-set tag dicts and free stacks initially *alias* the
-        snapshot and are privatized one set at a time on first mutation
-        (:meth:`_own_set`).  Observable behaviour is identical — the
-        snapshot rows are only ever read while shared — it just skips
-        the per-set dict/list copies that dominate eager restore, which
-        matters when many lanes restore from one snapshot at once.  The
-        eager default remains the oracle path.
+        uses: the flat arrays are still plainly copied (one ``memcpy``
+        each) but the per-set tag dicts and free stacks initially
+        *alias* the snapshot and are privatized one set at a time on
+        first mutation (:meth:`_own_set`).  Observable behaviour is
+        identical — the snapshot rows are only ever read while shared —
+        it just skips the per-set dict/list copies that dominate eager
+        restore, which matters when many lanes restore from one
+        snapshot at once.  The eager default remains the oracle path.
+
+        Pre-``array('q')`` snapshots (plain lists, e.g. aged on-disk
+        snapshot files) restore transparently: the arrays are rebuilt
+        from the lists element-wise.
         """
         tags, addr, mask, stamps, free, counter = state
-        if len(tags) != self.num_sets or len(addr) != len(self._addr):
+        if len(tags) != self.num_sets or len(addr) != self.num_sets * self.ways:
             raise ValueError("snapshot geometry does not match this cache")
         if cow:
             self._tags = list(tags)
             self._free = list(free)
-            self._cow_sets = set(range(self.num_sets))
+            self._cow_owned = set()
         else:
             self._tags = [dict(t) for t in tags]
             self._free = [list(f) for f in free]
-            self._cow_sets = None
-        self._addr = list(addr)
-        self._mask = list(mask)
-        self._stamps = list(stamps)
+            self._cow_owned = None
+        self._addr = addr[:] if isinstance(addr, array) else array("q", addr)
+        self._mask = mask[:] if isinstance(mask, array) else array("q", mask)
+        self._stamps = (
+            stamps[:] if isinstance(stamps, array) else array("q", stamps)
+        )
         self._stamp_counter = counter

@@ -67,8 +67,22 @@ def _check_worker_budget(flag: str, requested: int) -> None:
         raise ValueError(
             f"{flag} {requested} exceeds the {cpus} available CPU(s); "
             f"use {flag} {cpus} or lower (lane batching via 'sweep "
-            "--batch N' scales without extra CPUs)"
+            "--batch N' or '--batch auto' scales without extra CPUs)"
         )
+
+
+def _batch_arg(value: str) -> "int | str":
+    """``--batch`` argument: a positive integer or the word ``auto``."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        lanes = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --batch value {value!r}: expected a positive "
+            "integer or 'auto'"
+        ) from None
+    return lanes
 
 
 #: ``repro bench`` suites: scheme set per figure; every suite crosses
@@ -130,10 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--pool", type=int, default=0, metavar="N",
                          help="run the grid on a persistent pool of N warm "
                          "workers (fingerprint-grouped scheduling)")
-    sweep_p.add_argument("--batch", type=int, default=None, metavar="N",
+    sweep_p.add_argument("--batch", type=_batch_arg, default=None, metavar="N",
                          help="advance up to N grid points per shared event "
                          "loop (lane-parallel batch kernel); combines with "
-                         "--pool to ship whole lane groups per worker task")
+                         "--pool to ship whole lane groups per worker task; "
+                         "'auto' sizes the lane count from the grid and "
+                         "available memory")
     sweep_p.add_argument("--profile", action="store_true",
                          help="run under cProfile, print top-25 by cumulative time")
 
@@ -235,8 +251,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sweep.add_axis("scheme", args.schemes)
     sweep.add_axis("workload", args.workloads)
     sweep.add_axis("policy", args.policies)
-    if args.batch is not None and args.batch < 1:
-        raise ValueError("--batch must be a positive integer")
+    if isinstance(args.batch, int) and args.batch < 1:
+        raise ValueError("--batch must be a positive integer or 'auto'")
     if args.pool:
         _check_worker_budget("--pool", args.pool)
         from repro.sim.pool import SimPool
@@ -323,7 +339,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _profiled(func: Callable[..., int], *args: object) -> int:
-    """Run ``func`` under cProfile; print the top 25 cumulative entries."""
+    """Run ``func`` under cProfile; print the top 25 cumulative entries.
+
+    Batched sweeps (``sweep --batch ... --profile``) additionally get
+    the subsystem attribution table (:func:`_print_batch_attribution`):
+    the flat top-25 is dominated by whichever helper happens to be
+    hottest, while the table answers the question batching poses —
+    how much time ran through the cross-lane kernel ops versus the
+    residual scalar controller steps.
+    """
     import cProfile
     import pstats
 
@@ -333,6 +357,62 @@ def _profiled(func: Callable[..., int], *args: object) -> int:
     finally:
         stats = pstats.Stats(profiler, stream=sys.stdout)
         stats.sort_stats("cumulative").print_stats(25)
+        ns = args[0] if args else None
+        if getattr(ns, "batch", None) is not None:
+            _print_batch_attribution(stats)
+
+
+#: ``--profile`` attribution buckets for batched sweeps: subsystem
+#: label -> module path suffixes whose *exclusive* time it collects.
+_BATCH_PROFILE_BUCKETS: "tuple[tuple[str, tuple[str, ...]], ...]" = (
+    ("vectorized kernel ops", ("repro/dram/soa_batch.py",)),
+    ("cohort event loop", ("repro/sim/batch.py",)),
+    (
+        "scalar controller steps",
+        ("repro/controller/memctrl.py", "repro/dram/channel.py"),
+    ),
+    (
+        "construction + restore",
+        (
+            "repro/cache/set_assoc.py",
+            "repro/cache/dbi.py",
+            "repro/sim/system.py",
+            "repro/sim/snapshot.py",
+        ),
+    ),
+)
+
+
+def _print_batch_attribution(stats: "object") -> None:
+    """Print the batched-sweep profile attribution table.
+
+    Buckets every profile entry's exclusive (tottime) samples by the
+    module suffixes in :data:`_BATCH_PROFILE_BUCKETS`; entries
+    matching no bucket land in ``everything else``.  Exclusive time
+    sums to the whole profile, so the percentages partition 100%.
+    """
+    entries = getattr(stats, "stats", None)
+    if not entries:
+        return
+    totals = {name: 0.0 for name, _ in _BATCH_PROFILE_BUCKETS}
+    other = 0.0
+    grand = 0.0
+    for (filename, _, _), (_, _, tottime, _, _) in entries.items():
+        grand += tottime
+        path = filename.replace("\\", "/")
+        for name, suffixes in _BATCH_PROFILE_BUCKETS:
+            if path.endswith(suffixes):
+                totals[name] += tottime
+                break
+        else:
+            other += tottime
+    if not grand:
+        return
+    print("=== batched sweep attribution (exclusive time) ===")
+    for name, _ in _BATCH_PROFILE_BUCKETS:
+        seconds = totals[name]
+        print(f"  {name:<26}{seconds:8.3f} s  ({100 * seconds / grand:5.1f}%)")
+    print(f"  {'everything else':<26}{other:8.3f} s  ({100 * other / grand:5.1f}%)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

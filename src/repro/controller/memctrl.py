@@ -199,6 +199,7 @@ class ChannelController:
             self._idle_close_at, self._num_banks, self._trp,
             self._tcas, self._tcwl, self._trtrs, self.row_hit_cap,
             self._close_idle, self._auto_pre, self.stats,
+            core.pd, core.next_refresh,
         )
 
     # ------------------------------------------------------------------
@@ -281,7 +282,8 @@ class ChannelController:
          autopre_a, gate_a, open_bits_a, col_ready_a, reserved_a,
          next_act_ok_a, next_col_ok_a, next_read_ok_a, next_write_ok_a,
          keybase, useless, idle_close_at, nb, trp, tcas, tcwl, trtrs,
-         hit_cap, close_idle, auto_pre, stats) = self._hot
+         hit_cap, close_idle, auto_pre, stats, pd_a,
+         next_refresh_a) = self._hot
 
         # --- Write drain hysteresis (48/16 watermarks) ---
         writes_pending = write_q._count
@@ -303,10 +305,10 @@ class ChannelController:
         best = None
         best_rank = best_bank = best_g = 0
         for rank_idx, rank in enumerate(channel.ranks):
-            refresh_due = cycle >= rank.next_refresh
+            refresh_due = cycle >= next_refresh_a[rank_idx]
             if refresh_due:
                 refresh_pending |= 1 << rank_idx
-                if rank.powered_down:
+                if pd_a[rank_idx]:
                     rank.exit_power_down(cycle)
                     if rank.pd_exit_ready < hint:
                         hint = rank.pd_exit_ready
@@ -485,7 +487,7 @@ class ChannelController:
             if open_bits_a[rank_idx]:
                 continue
             if refresh_due:
-                if not rank.powered_down and cycle >= gate_a[rank_idx]:
+                if not pd_a[rank_idx] and cycle >= gate_a[rank_idx]:
                     rank.do_refresh(cycle)
                     self.accountant.on_refresh()
                     stats.refreshes += 1
@@ -495,7 +497,7 @@ class ChannelController:
                     return (True, cycle + 1)
             elif (
                 self._uses_power_down
-                and not rank.powered_down
+                and not pd_a[rank_idx]
                 and not read_q._per_rank.get(rank_idx)
                 and not write_q._per_rank.get(rank_idx)
             ):
@@ -583,7 +585,7 @@ class ChannelController:
                 continue
             banks_seen |= bank_bit
             rank = ranks[rank_idx]
-            if rank.powered_down:
+            if pd_a[rank_idx]:
                 rank.exit_power_down(cycle)
                 if rank.pd_exit_ready < hint:
                     hint = rank.pd_exit_ready
@@ -715,9 +717,9 @@ class ChannelController:
             scan_left -= 1
 
         # Idle: wake for the next refresh deadline.
-        for rank in ranks:
-            if rank.next_refresh < hint:
-                hint = rank.next_refresh
+        for nr in next_refresh_a:
+            if nr < hint:
+                hint = nr
         return (False, hint if hint > cycle else cycle + 1)
 
     def _observe_pre(
@@ -727,6 +729,57 @@ class ChannelController:
             self.protocol_checker.observe(CommandRecord(
                 cycle=cycle, cmd=Cmd.PRE, rank=rank_idx,
                 bank=bank_idx, implicit=implicit))
+
+    # ------------------------------------------------------------------
+    def issue_screen(self, cycle: int) -> "int | None":
+        """Pre-issue screen: can this controller possibly do anything?
+
+        Returns the exact hint a :meth:`step` call at ``cycle`` would
+        return — **proving** that call would issue nothing and mutate
+        nothing — or ``None`` when a real step is (or may be) needed.
+        The batch layer (:mod:`repro.sim.batch`) uses this to keep idle
+        lanes out of the scalar hot path entirely; the conditions are a
+        flat conjunction over state the lane-major slabs carry
+        column-wise (``open_bits``, ``pd``, ``next_refresh``), so a
+        cohort of lanes can evaluate the array-backed part in one
+        whole-column operation and fall into this scalar predicate only
+        for the per-queue checks.
+
+        Exactly two step shapes are screenable:
+
+        * **busy bus** — no overflow and ``cycle < cmd_bus_free``:
+          ``step`` bails immediately with ``(False, cmd_bus_free)``;
+        * **empty idle** — no overflow, both queues empty, no open
+          banks, power-down (when the policy uses it) already entered
+          on every rank, and every refresh deadline in the future:
+          the rank walk and both passes fall through side-effect-free
+          and ``step`` returns ``(False, min(next_refresh))``.
+
+        Anything else (queued work, due refresh, open rows to close,
+        a rank still awaiting power-down entry) can mutate state or
+        issue, so the screen declines.
+        """
+        if self.overflow:
+            return None
+        bus_free = self.channel.cmd_bus_free
+        if cycle < bus_free:
+            return bus_free
+        if self.read_q._count or self.write_q._count:
+            return None
+        if self.draining:
+            # An idle step would still flip the drain-hysteresis flag
+            # off (writes_pending <= lo_mark), and *when* that happens
+            # is observable once new writes arrive — not screenable.
+            return None
+        core = self._core
+        if any(core.open_bits):
+            return None
+        if self._uses_power_down and not all(core.pd):
+            return None
+        nr = min(core.next_refresh)
+        if cycle >= nr:
+            return None
+        return nr
 
     # ------------------------------------------------------------------
     def run_until(self, cycle: int, limit: int) -> int:
@@ -960,9 +1013,9 @@ class ChannelController:
                     # command; never extend past any rank's refresh
                     # deadline so refresh service is not starved.
                     horizon = _NEVER
-                    for r in channel.ranks:
-                        if r.next_refresh < horizon:
-                            horizon = r.next_refresh
+                    for nr in core.next_refresh:
+                        if nr < horizon:
+                            horizon = nr
                     cap = (horizon - 1 - cycle) // spacing
                     if cap < budget:
                         budget = cap

@@ -85,7 +85,13 @@ class Bank:
         bank_index: int = 0,
         core: Optional[TimingCore] = None,
         rank_index: int = 0,
+        adopt_state: bool = False,
     ) -> None:
+        """``adopt_state=True`` attaches the view to ``core`` without
+        writing the initial-state arguments into the arrays — for banks
+        built lazily over live state (:attr:`repro.dram.rank.Rank.banks`).
+        The explicit state arguments must be left at their defaults then.
+        """
         self.timing = timing
         if core is None:
             if rank is not None:
@@ -102,19 +108,20 @@ class Bank:
         self._g = rank_index * core.num_banks + bank_index
         self._bit = 1 << bank_index
         g = self._g
-        if open_row is not None:
-            core.open_bits[rank_index] |= self._bit
-            core.open_row[g] = open_row
-        else:
-            core.open_row[g] = -1
-        core.open_mask[g] = open_mask
-        core.act_ready[g] = act_ready
-        core.col_ready[g] = col_ready
-        core.pre_ready[g] = pre_ready
-        core.last_act[g] = last_act_cycle
-        core.accesses[g] = open_row_accesses
-        core.autopre[g] = pending_autopre
-        core.reserved[g] = reserved_req
+        if not adopt_state:
+            if open_row is not None:
+                core.open_bits[rank_index] |= self._bit
+                core.open_row[g] = open_row
+            else:
+                core.open_row[g] = -1
+            core.open_mask[g] = open_mask
+            core.act_ready[g] = act_ready
+            core.col_ready[g] = col_ready
+            core.pre_ready[g] = pre_ready
+            core.last_act[g] = last_act_cycle
+            core.accesses[g] = open_row_accesses
+            core.autopre[g] = pending_autopre
+            core.reserved[g] = reserved_req
         d = derived_timing(timing)
         self._trcd = timing.trcd
         self._tras = timing.tras

@@ -14,12 +14,19 @@ The rank also integrates background-state residency (active standby /
 precharge standby / precharge power-down) for the power model.
 
 Inter-bank timing state (``next_act_ok`` / ``next_col_ok`` /
-``next_read_ok`` / ``next_write_ok``, the open-bank bitmask and the
-command gate) lives in the channel's shared
-:class:`~repro.dram.soa.TimingCore` arrays at ``rank_index`` — the
-attributes here are views, so the controller's flat-array hot loops and
-this object API always agree.  Refresh/power-down bookkeeping and the
-tFAW window stay plain attributes: they are touched only on cold paths.
+``next_read_ok`` / ``next_write_ok``, the open-bank bitmask, the
+command gate, the power-down flag and the refresh deadline) lives in
+the channel's shared :class:`~repro.dram.soa.TimingCore` arrays at
+``rank_index`` — the attributes here are views, so the controller's
+flat-array hot loops, the batch kernel's lane-major slabs and this
+object API always agree.  Only the tFAW window, power-down exit timing
+and background-residency integration stay plain attributes: they are
+touched on cold paths and never screened column-wise.
+
+The per-bank :class:`Bank` views are built lazily on first access:
+they carry no state of their own (everything lives in the core
+arrays), and the batch kernel constructs hundreds of ranks per lane
+group whose banks are often never touched before the run ends.
 """
 
 from __future__ import annotations
@@ -37,14 +44,13 @@ class Rank:
 
     __slots__ = (
         "timing",
-        "banks",
+        "_banks",
         "core",
         "rank_index",
+        "num_banks",
         "faw",
         "relax_act_constraints",
-        "powered_down",
         "pd_exit_ready",
-        "next_refresh",
         "refresh_until",
         "_bg_last_cycle",
         "bg_residency",
@@ -72,19 +78,18 @@ class Rank:
         #: Shared per-channel timing-state arrays.
         self.core = core
         self.rank_index = rank_index
-        self.banks: List[Bank] = [
-            Bank(timing, core=core, rank_index=rank_index, bank_index=i)
-            for i in range(num_banks)
-        ]
+        self.num_banks = num_banks
+        #: Lazily built :class:`Bank` views (state lives in ``core``).
+        self._banks: Optional[List[Bank]] = None
         self.faw = ActivationWindow(tfaw=timing.tfaw)
         #: Whether partial/half activations relax tRRD and tFAW.
         self.relax_act_constraints = relax_act_constraints
-        #: True while the rank sits in precharge power-down.
-        self.powered_down: bool = False
+        # Power-down flag and refresh deadline live in the core arrays
+        # (written through the properties below).
+        self.powered_down = False
+        self.next_refresh = timing.trefi
         #: Earliest cycle a command may issue after power-down exit.
         self.pd_exit_ready: int = 0
-        #: Deadline of the next refresh.
-        self.next_refresh: int = timing.trefi
         #: Cycle until which an in-flight refresh blocks the rank.
         self.refresh_until: int = 0
         # Background residency integration.
@@ -104,6 +109,48 @@ class Rank:
     # ------------------------------------------------------------------
     # Array-backed state views
     # ------------------------------------------------------------------
+    @property
+    def banks(self) -> List[Bank]:
+        """Per-bank views, built on first access.
+
+        Banks hold no state (everything lives in ``core``), so deferred
+        construction (``adopt_state=True``: the view adopts whatever the
+        arrays say instead of resetting them) is observationally
+        identical to eager construction on a fresh core — and skips
+        hundreds of never-touched Bank objects per batch lane group.
+        """
+        banks = self._banks
+        if banks is None:
+            banks = self._banks = [
+                Bank(
+                    self.timing,
+                    core=self.core,
+                    rank_index=self.rank_index,
+                    bank_index=i,
+                    adopt_state=True,
+                )
+                for i in range(self.num_banks)
+            ]
+        return banks
+
+    @property
+    def powered_down(self) -> bool:
+        """True while the rank sits in precharge power-down."""
+        return bool(self.core.pd[self.rank_index])
+
+    @powered_down.setter
+    def powered_down(self, value: bool) -> None:
+        self.core.pd[self.rank_index] = 1 if value else 0
+
+    @property
+    def next_refresh(self) -> int:
+        """Deadline of the next refresh."""
+        return self.core.next_refresh[self.rank_index]
+
+    @next_refresh.setter
+    def next_refresh(self, value: int) -> None:
+        self.core.next_refresh[self.rank_index] = value
+
     @property
     def open_bits(self) -> int:
         """Bitmask of banks with an open row (exact by construction)."""

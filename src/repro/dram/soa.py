@@ -23,7 +23,16 @@ Encoding conventions:
   ``Bank.reserved_req``,
 * ``open_bits[r]`` is the rank's open-bank bitmask,
 * ``gate[r]`` caches ``max(pd_exit_ready, refresh_until)`` — the
-  earliest cycle any command may issue on the rank.
+  earliest cycle any command may issue on the rank,
+* ``pd[r]`` is 1 while the rank sits in precharge power-down
+  (``Rank.powered_down`` translates to/from ``bool``),
+* ``next_refresh[r]`` is the rank's next refresh deadline.
+
+The last two moved here from plain ``Rank`` attributes so the batch
+kernel's lane-major slabs (:mod:`repro.dram.soa_batch`) carry the full
+idle-screen state: whether a lane's channel can possibly issue anything
+(open banks, pending refresh, power-down residency) is then answerable
+column-wise across lanes without touching the ``Rank`` objects.
 """
 
 from __future__ import annotations
@@ -60,6 +69,8 @@ class TimingCore:
         "next_write_ok",
         "gate",
         "open_bits",
+        "pd",
+        "next_refresh",
     )
 
     def __init__(self, num_ranks: int, num_banks: int) -> None:
@@ -98,3 +109,7 @@ class TimingCore:
         self.gate = [0] * num_ranks
         #: Bitmask of banks with an open row, per rank.
         self.open_bits = [0] * num_ranks
+        #: 1 while the rank is in precharge power-down, else 0.
+        self.pd = [0] * num_ranks
+        #: Next refresh deadline per rank (``Rank.__init__`` seeds tREFI).
+        self.next_refresh = [0] * num_ranks

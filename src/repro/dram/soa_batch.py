@@ -26,12 +26,23 @@ lanes sit at different cycles, so cross-lane SIMD of ``step()`` cannot
 be bit-identical.  CPython also indexes plain lists faster than numpy
 scalars.  The lane dimension instead amortizes allocation, snapshot
 restore and event-loop interpreter overhead — see DESIGN.md §7.
+
+What *is* vectorized across lanes are the **cohort kernel ops** at the
+bottom of this module (:func:`decay_timers`, :func:`open_row_hits`,
+:func:`mask_compatible`, :func:`refresh_due`, :func:`next_wake_min`,
+:func:`power_down_resident`): column-wise reductions and updates over
+the lane-major matrices for every lane sharing a wake cycle.  The
+cohort-stepping loop (:meth:`repro.sim.batch.BatchSystem.run`) uses
+them to evaluate the controller pre-issue screen
+(:meth:`repro.controller.memctrl.ChannelController.issue_screen`) and
+recompute wake hints for whole cohorts without entering per-lane
+scheduler code.  Both backends return identical plain Python values.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.dram.geometry import FULL_MASK
 from repro.dram.soa import TimingCore
@@ -145,6 +156,8 @@ class BatchTimingCore:
         "next_write_ok",
         "gate",
         "open_bits",
+        "pd",
+        "next_refresh",
     )
 
     def __init__(
@@ -187,6 +200,8 @@ class BatchTimingCore:
         self.next_write_ok = full_rows(num_lanes, num_ranks, 0, backend)
         self.gate = full_rows(num_lanes, num_ranks, 0, backend)
         self.open_bits = full_rows(num_lanes, num_ranks, 0, backend)
+        self.pd = full_rows(num_lanes, num_ranks, 0, backend)
+        self.next_refresh = full_rows(num_lanes, num_ranks, 0, backend)
 
     # ------------------------------------------------------------------
     def lane(self, lane: int) -> TimingCore:
@@ -214,6 +229,8 @@ class BatchTimingCore:
         core.next_write_ok = self.next_write_ok[lane]
         core.gate = self.gate[lane]
         core.open_bits = self.open_bits[lane]
+        core.pd = self.pd[lane]
+        core.next_refresh = self.next_refresh[lane]
         return core
 
     def lanes(self) -> List[TimingCore]:
@@ -260,5 +277,161 @@ class BatchTimingCore:
             self.next_write_ok,
             self.gate,
             self.open_bits,
+            self.pd,
+            self.next_refresh,
         ):
             field[lane][:] = [0] * self.num_ranks
+
+
+# ----------------------------------------------------------------------
+# Cohort kernel ops: column-wise reductions/updates over lane subsets.
+#
+# Each op takes the slab plus the *slots* (lane indices) of a cohort —
+# the lanes whose event loops woke at the same cycle — and evaluates one
+# screen ingredient for all of them at once.  The numpy path gathers the
+# cohort's rows into a single array op; the list path reduces per lane.
+# Both return plain Python ints/bools so results are backend-invariant,
+# and neither mutates anything except where documented (decay_timers).
+# ----------------------------------------------------------------------
+
+
+def open_row_hits(slab: BatchTimingCore, slots: Sequence[int]) -> List[int]:
+    """Per-lane union of rank open-bank bitmasks, one per cohort slot.
+
+    A lane with result ``0`` has no open row anywhere on the channel —
+    no row hit is possible and no precharge/close housekeeping is
+    pending, one leg of the idle screen.  A nonzero result is the
+    OR-fold of ``open_bits`` across the lane's ranks (which banks could
+    still serve hits).
+    """
+    if slab.backend == "numpy":
+        assert _numpy is not None
+        rows = _numpy.array(
+            [slab.open_bits[s] for s in slots], dtype=_numpy.int64
+        )
+        out: List[int] = _numpy.bitwise_or.reduce(rows, axis=1).tolist()
+        return out
+    result = []
+    for s in slots:
+        bits = 0
+        for b in slab.open_bits[s]:
+            bits |= b
+        result.append(bits)
+    return result
+
+
+def refresh_due(slab: BatchTimingCore, slots: Sequence[int]) -> List[int]:
+    """Earliest refresh deadline per cohort lane (min over ranks).
+
+    A lane whose result is ``<= cycle`` has a refresh due *now* and
+    must take the scalar path; otherwise the value is exactly the idle
+    wake hint the scalar controller would return for an empty channel
+    (``min(next_refresh)``), which lets the cohort loop re-arm screened
+    lanes without calling ``step()``.
+    """
+    if slab.backend == "numpy":
+        assert _numpy is not None
+        rows = _numpy.array(
+            [slab.next_refresh[s] for s in slots], dtype=_numpy.int64
+        )
+        out: List[int] = rows.min(axis=1).tolist()
+        return out
+    return [min(slab.next_refresh[s]) for s in slots]
+
+
+def power_down_resident(
+    slab: BatchTimingCore, slots: Sequence[int]
+) -> List[bool]:
+    """Whether *every* rank of each cohort lane sits in power-down.
+
+    Only meaningful for power-down schemes: an idle lane with a rank
+    still out of power-down owes a PD-entry command and cannot be
+    screened.  Non-PD schemes skip this op entirely.
+    """
+    if slab.backend == "numpy":
+        assert _numpy is not None
+        rows = _numpy.array([slab.pd[s] for s in slots], dtype=_numpy.int64)
+        out: List[bool] = rows.all(axis=1).tolist()
+        return out
+    return [all(slab.pd[s]) for s in slots]
+
+
+def mask_compatible(
+    slab: BatchTimingCore, slots: Sequence[int], g: int, needed: int
+) -> List[bool]:
+    """Whether bank ``g``'s open partial row covers ``needed`` per lane.
+
+    Column read across the cohort of the PRA coverage test the scalar
+    scheduler applies per request (``needed & ~open_mask == 0``): True
+    means the lane's open activation already spans every segment the
+    access touches, so a row hit would not need a re-activation.
+    """
+    if slab.backend == "numpy":
+        assert _numpy is not None
+        col = _numpy.array(
+            [slab.open_mask[s][g] for s in slots], dtype=_numpy.int64
+        )
+        out: List[bool] = ((needed & ~col) == 0).tolist()
+        return out
+    return [(needed & ~slab.open_mask[s][g]) == 0 for s in slots]
+
+
+def decay_timers(
+    slab: BatchTimingCore, slots: Sequence[int], cycle: int
+) -> None:
+    """Clamp stale per-rank readiness timers up to ``cycle``, in place.
+
+    Elementwise ``max(timer, cycle)`` over the cohort's per-rank timer
+    rows (tRRD/tCCD/turnaround/hold/gate).  Behavior-preserving for
+    lanes at ``cycle``: the controller only ever consults these values
+    via ``cycle >= t`` comparisons or max-folds against cycles ``>=
+    cycle``, so a timer that already expired (``< cycle``) is
+    indistinguishable from one clamped to ``cycle``.  Normalizing keeps
+    the slab columns monotone — every live timer ``>= cycle`` — which
+    is the invariant :func:`next_wake_min` relies on to skip per-element
+    clamping when folding wake candidates.
+    """
+    columns = (
+        slab.next_act_ok,
+        slab.next_col_ok,
+        slab.next_read_ok,
+        slab.next_write_ok,
+        slab.gate,
+    )
+    if slab.backend == "numpy":
+        assert _numpy is not None
+        for matrix in columns:
+            rows = _numpy.array(
+                [matrix[s] for s in slots], dtype=_numpy.int64
+            )
+            clamped = _numpy.maximum(rows, cycle).tolist()
+            for s, row in zip(slots, clamped):
+                matrix[s][:] = row
+        return
+    for matrix in columns:
+        for s in slots:
+            row = matrix[s]
+            for i, v in enumerate(row):
+                if v < cycle:
+                    row[i] = cycle
+
+
+def next_wake_min(
+    candidates: Sequence[Sequence[int]], backend: str
+) -> List[int]:
+    """Row-wise min over per-lane wake-candidate rows.
+
+    Each row collects one lane's wake candidates (screen hint, pending
+    completion, core event horizon); the result is the lane's next
+    event cycle.  Rows must be non-empty and, per the
+    :func:`decay_timers` invariant, already ``>= `` the current cycle —
+    the fold does no clamping.
+    """
+    if backend == "numpy" and HAVE_NUMPY:
+        assert _numpy is not None
+        widths = {len(row) for row in candidates}
+        if len(widths) == 1:
+            arr = _numpy.array(candidates, dtype=_numpy.int64)
+            out: List[int] = arr.min(axis=1).tolist()
+            return out
+    return [min(row) for row in candidates]

@@ -23,6 +23,19 @@ drives them all through one shared event loop.
   ``System.run``), then re-keys it at its next event cycle.  Each
   lane's pass sequence is identical to its solo run; the heap only
   interleaves lanes, it never reorders one lane's events.
+* **Cohort stepping.**  All lanes waking at the same cycle pop
+  together as a *cohort*.  Lanes whose pass would provably do nothing
+  but probe idle controllers are screened out column-wise: the slab
+  ingredients of the controller pre-issue screen
+  (:meth:`~repro.controller.memctrl.ChannelController.issue_screen`)
+  — open-bank bits, power-down residency, refresh horizons — are
+  evaluated for the whole cohort with one array op each
+  (:func:`~repro.dram.soa_batch.open_row_hits` /
+  :func:`~repro.dram.soa_batch.power_down_resident` /
+  :func:`~repro.dram.soa_batch.refresh_due`), and screened lanes are
+  re-keyed at the exact wake hint the scalar probe would have
+  computed, without entering ``step()`` at all.  Only lanes with real
+  work (or unscreenable shapes) drop into the scalar engine.
 * **Shared construction.**  Lanes are built in warm-fingerprint groups:
   the first lane of a fingerprint builds (or disk-loads) the warm
   snapshot, the rest restore from the in-process cache — copy-on-write
@@ -44,13 +57,22 @@ body that ships whole lane-groups to warm workers.
 
 from __future__ import annotations
 
+import gc
 from collections import OrderedDict
 from heapq import heapify, heappop, heappush
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cpu.core_model import NEVER
 from repro.dram.soa import TimingCore
-from repro.dram.soa_batch import HAVE_NUMPY, BatchTimingCore
+from repro.dram.soa_batch import (
+    HAVE_NUMPY,
+    BatchTimingCore,
+    decay_timers,
+    next_wake_min,
+    open_row_hits,
+    power_down_resident,
+    refresh_due,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
 from repro.sim.snapshot import default_warmup, warm_fingerprint
@@ -70,6 +92,46 @@ ORACLE_TESTS = ("tests/test_batch.py",)
 
 #: One lane: a specialized config plus its workload (or workload name).
 LaneSpec = Tuple[SystemConfig, Union[Workload, str]]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.memctrl import ChannelController
+
+
+def _screened_wake(
+    ctrl: "ChannelController",
+    local: int,
+    hit: int,
+    horizon: int,
+    pd_all: Optional[bool],
+) -> Optional[Tuple[int, bool]]:
+    """Column-fed twin of ``ChannelController.issue_screen``.
+
+    Same predicate, same check order; the slab-backed ingredients
+    (open-bank union ``hit``, refresh ``horizon``, power-down
+    residency ``pd_all``) arrive precomputed by the cohort column ops
+    instead of being re-read per controller.  Returns ``(wake,
+    is_idle_shape)`` — the exact hint a ``step`` at ``local`` would
+    return plus which screenable shape matched (busy bus vs empty
+    idle) — or ``None`` when a real step is needed.  Any edit here
+    must mirror ``issue_screen`` (and vice versa); the cohort identity
+    suite pins the two together end to end.
+    """
+    if ctrl.overflow:
+        return None
+    bus_free = ctrl.channel.cmd_bus_free
+    if local < bus_free:
+        return bus_free, False
+    if ctrl.read_q._count or ctrl.write_q._count:
+        return None
+    if ctrl.draining:
+        return None
+    if hit:
+        return None
+    if ctrl._uses_power_down and not pd_all:
+        return None
+    if local >= horizon:
+        return None
+    return horizon, True
 
 
 class _Lane:
@@ -231,7 +293,38 @@ class BatchSystem:
         invariants, exactly as in :class:`~repro.sim.sweep.Sweep`.
         ``backend`` forces the slab allocation backend (tests); the
         default follows :func:`repro.dram.soa_batch.default_backend`.
+
+        Construction runs with the cyclic GC paused: building N lanes
+        allocates hundreds of thousands of container objects that are
+        all provably live, and generational collections triggered by
+        that allocation burst dominated batch wall time.  The guard
+        restores the collector's prior state on every exit path.
         """
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._build(
+                lanes,
+                events_per_core,
+                seed,
+                warmup_events_per_core,
+                snapshot_dir,
+                backend,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _build(
+        self,
+        lanes: Sequence[LaneSpec],
+        events_per_core: int,
+        seed: Optional[int],
+        warmup_events_per_core: Optional[int],
+        snapshot_dir: Optional[str],
+        backend: Optional[str],
+    ) -> None:
         specs: List[Tuple[SystemConfig, Workload]] = []
         for config, wl in lanes:
             workload = lookup_workload(wl) if isinstance(wl, str) else wl
@@ -249,14 +342,20 @@ class BatchSystem:
             geo_groups.setdefault(geo_key, []).append(i)
         #: Slab sets per geometry group (introspection/tests).
         self.slabs: List[List[BatchTimingCore]] = []
+        #: Lane index -> (geometry-group index, slab slot); the cohort
+        #: screen uses this to address each lane's slab rows.
+        self._lane_slot: Dict[int, Tuple[int, int]] = {}
         lane_cores: Dict[int, List[TimingCore]] = {}
-        for (channels, ranks, banks), members in geo_groups.items():
+        for group, ((channels, ranks, banks), members) in enumerate(
+            geo_groups.items()
+        ):
             slabs = [
                 BatchTimingCore(len(members), ranks, banks, backend=backend)
                 for _ in range(channels)
             ]
             self.slabs.append(slabs)
             for slot, i in enumerate(members):
+                self._lane_slot[i] = (group, slot)
                 lane_cores[i] = [slab.lane(slot) for slab in slabs]
 
         # Construction in warm-fingerprint groups: the first lane of a
@@ -296,14 +395,25 @@ class BatchSystem:
     def num_lanes(self) -> int:
         return len(self.lanes)
 
-    def run(self) -> List[SimResult]:
+    def run(self, *, _cohort: bool = True) -> List[SimResult]:
         """Drive every lane to completion; results in lane order.
 
-        The shared heap holds ``(cycle, lane_index)``; each pop advances
-        that lane one loop pass and re-keys it.  A lane that terminates
-        finalizes immediately (stats flush + summary) and leaves the
-        heap.  Ties break on lane index, so the interleaving — which
-        cannot affect per-lane state anyway — is deterministic.
+        The shared heap holds ``(cycle, lane_index)``; every lane at the
+        heap's front cycle pops together as a **cohort**.  The cohort
+        first runs the column-wise idle screen (:meth:`_cohort_step`):
+        lanes whose whole pass would provably issue nothing are re-keyed
+        at their exact scalar wake hints without entering the scheduler;
+        the rest advance one pass of the scalar loop body each, in lane
+        order — the same order the PR-6 one-pop-per-lane loop produced,
+        since heap ties break on lane index.  Lanes never share mutable
+        state (slab rows are disjoint, snapshot sharing is
+        copy-on-write), so the split cannot affect per-lane results; a
+        lane that terminates finalizes immediately (stats flush +
+        summary) and leaves the heap.
+
+        ``_cohort=False`` forces the PR-6 one-lane-per-pop loop —
+        a test hook so the identity suite can pin cohort stepping
+        against the un-screened interleaving on the same inputs.
         """
         if self._ran:
             raise RuntimeError("BatchSystem.run() may only be called once")
@@ -313,17 +423,203 @@ class BatchSystem:
         heapify(heap)
         lanes = self.lanes
         while heap:
-            _, index = heappop(heap)
-            lane = lanes[index]
-            nxt = lane.advance()
-            if nxt is None:
-                results[index] = lane.finalize()
+            cycle = heap[0][0]
+            if _cohort and len(heap) > 1:
+                cohort: List[int] = []
+                while heap and heap[0][0] == cycle:
+                    _, index = heappop(heap)
+                    cohort.append(index)
+                scalar = (
+                    self._cohort_step(cycle, cohort, heap)
+                    if len(cohort) > 1
+                    else cohort
+                )
             else:
-                heappush(heap, (nxt, index))
+                _, index = heappop(heap)
+                scalar = [index]
+            for index in scalar:
+                lane = lanes[index]
+                nxt = lane.advance()
+                if nxt is None:
+                    results[index] = lane.finalize()
+                else:
+                    heappush(heap, (nxt, index))
         final = [result for result in results if result is not None]
         if len(final) != len(self.lanes):  # pragma: no cover - defensive
             raise RuntimeError("batch run finished with unfinalized lanes")
         return final
+
+    # ------------------------------------------------------------------
+    def _cohort_step(
+        self, cycle: int, cohort: List[int], heap: List[Tuple[int, int]]
+    ) -> List[int]:
+        """Screen a same-cycle cohort; return the lanes needing scalar work.
+
+        A lane can skip its scalar pass entirely when the pass would
+        provably only *probe*: no demand completions due, no cores due,
+        no dirtied channels, and every due controller's
+        :meth:`~repro.controller.memctrl.ChannelController.issue_screen`
+        proves its ``run_until`` would return a wake hint without
+        issuing or mutating anything.  For those lanes this method
+        replicates the pass's only observable effects — the new per-
+        controller wake hints and the lane's next event cycle — and
+        re-keys the lane on ``heap`` directly.  Termination checks may
+        be skipped for screened lanes: a screened pass mutates nothing
+        the termination predicate reads, and the previous scalar pass
+        already evaluated that predicate on identical state.
+
+        The slab-backed screen ingredients (open-bank bits, power-down
+        residency, refresh horizons) are gathered per (geometry group,
+        channel) with one column op each across the cohort's slots;
+        :func:`~repro.dram.soa_batch.decay_timers` then normalizes the
+        per-rank timer columns of fully-idle screened lanes so slab
+        columns stay monotone, and
+        :func:`~repro.dram.soa_batch.next_wake_min` folds each screened
+        lane's wake candidates into its next event cycle.
+        """
+        lanes = self.lanes
+        scalar: List[int] = []
+        fast: List[Tuple[int, int, int]] = []  # (lane index, core_min, limit)
+        for index in cohort:
+            lane = lanes[index]
+            system = lane.system
+            if system._dirty_channels:
+                scalar.append(index)
+                continue
+            next_completion = NEVER
+            due_now = False
+            for ctrl in system.controllers:
+                cr = ctrl.completed_reads
+                if cr:
+                    c0 = cr[0][0]
+                    if c0 <= cycle:
+                        due_now = True
+                        break
+                    if c0 < next_completion:
+                        next_completion = c0
+            if due_now:
+                scalar.append(index)
+                continue
+            core_min = NEVER
+            for action in lane.core_next:
+                if action < core_min:
+                    core_min = action
+            if core_min <= cycle:
+                scalar.append(index)
+                continue
+            limit = next_completion if next_completion < core_min else core_min
+            if limit <= cycle:
+                limit = cycle + 1
+            fast.append((index, core_min, limit))
+        if not fast:
+            return scalar
+
+        # Column phase: gather the slab screen ingredients for every
+        # due (lane, channel) pair, one whole-column op per slab.
+        lane_due: Dict[int, List[int]] = {}
+        buckets: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for index, _, _ in fast:
+            lane = lanes[index]
+            wake = lane.wake
+            due = [idx for idx in range(len(wake)) if wake[idx] <= cycle]
+            lane_due[index] = due
+            group, slot = self._lane_slot[index]
+            for ctrl_idx in due:
+                buckets.setdefault((group, ctrl_idx), []).append((index, slot))
+        cols: Dict[Tuple[int, int], Tuple[int, int, Optional[bool]]] = {}
+        for (group, ctrl_idx), members in buckets.items():
+            slab = self.slabs[group][ctrl_idx]
+            slots = [slot for _, slot in members]
+            hits = open_row_hits(slab, slots)
+            horizons = refresh_due(slab, slots)
+            pd_all: Optional[List[bool]] = None
+            if any(
+                lanes[index].system.controllers[ctrl_idx]._uses_power_down
+                for index, _ in members
+            ):
+                pd_all = power_down_resident(slab, slots)
+            for pos, (index, _) in enumerate(members):
+                cols[(index, ctrl_idx)] = (
+                    hits[pos],
+                    horizons[pos],
+                    None if pd_all is None else pd_all[pos],
+                )
+
+        # Scalar residue: compose the per-queue checks with the column
+        # values; any unscreenable controller sends its lane scalar.
+        screened: List[Tuple[int, int]] = []  # (lane index, group)
+        wake_rows: List[List[int]] = []
+        idle_pairs: Dict[Tuple[int, int], List[int]] = {}
+        for index, core_min, limit in fast:
+            lane = lanes[index]
+            controllers = lane.system.controllers
+            new_wakes: Dict[int, int] = {}
+            all_idle = True
+            ok = True
+            for ctrl_idx in lane_due[index]:
+                ctrl = controllers[ctrl_idx]
+                clock = ctrl.local_clock
+                local = cycle if clock <= cycle else clock
+                if local >= limit:
+                    # run_until bails before stepping; no screen ran.
+                    new_wakes[ctrl_idx] = local
+                    all_idle = False
+                    continue
+                hit, horizon, pd_all_lane = cols[(index, ctrl_idx)]
+                res = _screened_wake(ctrl, local, hit, horizon, pd_all_lane)
+                if res is None:
+                    ok = False
+                    break
+                w, idle_shape = res
+                if not idle_shape:
+                    all_idle = False
+                    # Busy-bus shape with pending work: run_until only
+                    # stops here if the bus outlasts the horizon.
+                    if (
+                        ctrl.read_q._count or ctrl.write_q._count
+                    ) and w < limit:
+                        ok = False
+                        break
+                new_wakes[ctrl_idx] = w
+            if not ok:
+                scalar.append(index)
+                continue
+            # Commit: replicate the pass's heap bookkeeping (pop every
+            # due-or-stale entry, re-key the due controllers).
+            lheap = lane.heap
+            wake = lane.wake
+            while lheap and lheap[0][0] <= cycle:
+                heappop(lheap)
+            for ctrl_idx, w in new_wakes.items():
+                wake[ctrl_idx] = w
+                heappush(lheap, (w, ctrl_idx))
+            group, slot = self._lane_slot[index]
+            if all_idle:
+                for ctrl_idx in new_wakes:
+                    idle_pairs.setdefault((group, ctrl_idx), []).append(slot)
+            screened.append((index, group))
+            # Phase-6 fold: min over live controller wakes and the
+            # external horizon (core_min; completions are folded into
+            # limit only when earlier, but the true completion horizon
+            # is >= limit >= every candidate we keep, so folding
+            # min(wake) with core_min and limit is exact).
+            row = list(wake)
+            row.append(core_min)
+            row.append(limit)
+            wake_rows.append(row)
+        if not screened:
+            return scalar
+
+        for (group, ctrl_idx), slots in idle_pairs.items():
+            decay_timers(self.slabs[group][ctrl_idx], slots, cycle)
+
+        backend = self.slabs[0][0].backend if self.slabs else "list"
+        nxts = next_wake_min(wake_rows, backend)
+        for (index, _), nxt in zip(screened, nxts):
+            lane = lanes[index]
+            lane.cycle = nxt if nxt > cycle else cycle + 1
+            heappush(heap, (lane.cycle, index))
+        return scalar
 
 
 def simulate_batch(

@@ -36,7 +36,8 @@ Execution backends, all bit-identical row for row:
   (:mod:`repro.sim.batch`): up to N points advance together through
   one shared event loop, sharing warm snapshots (copy-on-write) and
   compiled trace blocks; combines with ``pool`` to ship whole lane
-  groups per task.
+  groups per task.  ``batch="auto"`` sizes the lane count from the
+  grid and available memory (:func:`auto_batch_lanes`).
 """
 
 from __future__ import annotations
@@ -45,9 +46,10 @@ import csv
 import itertools
 import json
 import multiprocessing
+import os
 from collections import OrderedDict
 from dataclasses import replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:
     from repro.sim.pool import SimPool
@@ -121,6 +123,48 @@ def _run_point_in_worker(point: Dict) -> Dict:
     if ctx is None:
         raise RuntimeError("sweep worker used before initialization")
     return _run_point(ctx, point)
+
+
+def _available_memory_bytes() -> Optional[int]:
+    """Currently available physical memory, or ``None`` if unknowable.
+
+    Monkeypatchable in tests; uses the POSIX ``sysconf`` keys, which
+    the supported platforms expose.
+    """
+    try:
+        page = os.sysconf("SC_PAGE_SIZE")
+        pages = os.sysconf("SC_AVPHYS_PAGES")
+    except (AttributeError, OSError, ValueError):  # pragma: no cover
+        return None
+    if page <= 0 or pages <= 0:  # pragma: no cover - degenerate sysconf
+        return None
+    return page * pages
+
+
+def auto_batch_lanes(num_points: int, base_config: SystemConfig) -> int:
+    """Lane count for ``batch="auto"``: the whole grid, memory permitting.
+
+    The batch kernel's sweet spot is one lane group for the entire
+    grid (maximum construction/event-loop sharing), so that is the
+    default answer.  Each lane's dominant resident cost is its private
+    LLC tag state (three flat 8-byte arrays per slot, plus privatized
+    per-set dicts as it diverges from the shared snapshot); the
+    estimate below envelopes that at one byte of lane state per two
+    bytes of modelled LLC capacity, floored at 4 MB to cover queues,
+    cores and controller state.  Lanes are capped so their combined
+    envelope stays within half of currently-available memory —
+    conservative, because an overcommitted batch run swaps and loses
+    far more than extra groups cost.  When available memory cannot be
+    determined the grid size is used unchanged.
+    """
+    if num_points < 1:
+        raise ValueError("auto batch sizing needs at least one grid point")
+    avail = _available_memory_bytes()
+    if avail is None:
+        return num_points
+    per_lane = max(4 << 20, base_config.cache.llc_bytes // 2)
+    budget = max(1, (avail // 2) // per_lane)
+    return min(num_points, budget)
 
 
 class Sweep:
@@ -209,7 +253,7 @@ class Sweep:
         workers: Optional[int] = None,
         pool: "Optional[SimPool]" = None,
         mp_start: Optional[str] = None,
-        batch: Optional[int] = None,
+        batch: "Optional[Union[int, str]]" = None,
     ) -> List[Dict]:
         """Execute the grid; returns (and stores) one row per point.
 
@@ -230,6 +274,10 @@ class Sweep:
         (:meth:`~repro.sim.pool.SimPool.map_groups`), amortizing the
         per-point IPC as well.
 
+        ``batch="auto"`` picks the lane count itself: the whole grid
+        as one lane group, capped by available physical memory
+        (:func:`auto_batch_lanes`).
+
         Every point carries the same deterministic seed on every
         backend and the rows are merged back in grid order, so
         parallel, pooled and batched sweeps are row-for-row identical
@@ -238,8 +286,14 @@ class Sweep:
         tasks = self._tasks()
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
-        if batch is not None and batch < 1:
-            raise ValueError("batch must be a positive integer")
+        if isinstance(batch, str):
+            if batch != "auto":
+                raise ValueError(
+                    f"batch={batch!r}: expected a positive integer or 'auto'"
+                )
+            batch = auto_batch_lanes(max(1, len(tasks)), self.base_config)
+        elif batch is not None and batch < 1:
+            raise ValueError("batch must be a positive integer or 'auto'")
         ctx = self._context()
         if batch is not None and batch > 1 and len(tasks) > 1:
             self.rows = self._run_batched(tasks, ctx, batch, pool)

@@ -10,6 +10,15 @@ mixing snapshot-restored and cold lanes, the ``Sweep.run(batch=N)``
 and ``SimPool.map_groups`` integration layers, the CLI worker-budget
 guard, and a hypothesis property test driving randomized lane
 counts/configs through the kernel.
+
+PR 7 adds cohort stepping (same-cycle lanes screened column-wise):
+the suite pins the cohort loop bit-identical to the PR-6
+one-lane-per-pop interleaving (``run(_cohort=False)``) on random lane
+cohorts across both backends, and covers the cohort kernel ops
+(``decay_timers`` / ``open_row_hits`` / ``mask_compatible`` /
+``refresh_due`` / ``next_wake_min`` / ``power_down_resident``)
+including slab-row aliasing of the new ``pd`` / ``next_refresh``
+columns, plus ``batch="auto"`` lane sizing.
 """
 
 import pytest
@@ -18,17 +27,25 @@ from hypothesis import strategies as st
 
 from repro import cli
 from repro.core.schemes import by_name
+from repro.dram.geometry import FULL_MASK
 from repro.dram.soa_batch import (
     BACKENDS,
     BatchTimingCore,
     HAVE_NUMPY,
+    decay_timers,
     default_backend,
+    mask_compatible,
+    next_wake_min,
+    open_row_hits,
+    power_down_resident,
+    refresh_due,
 )
 from repro.sim.batch import BatchSystem, simulate_batch
 from repro.sim.config import CacheConfig, SystemConfig
 from repro.sim.pool import SimPool, SimPoolError
 from repro.sim.snapshot import SNAPSHOTS
-from repro.sim.sweep import Sweep
+from repro.sim import sweep as sweep_mod
+from repro.sim.sweep import Sweep, auto_batch_lanes
 from repro.sim.system import System
 from repro.workloads.mixes import workload as lookup_workload
 
@@ -238,6 +255,245 @@ class TestSlab:
 
 
 # ----------------------------------------------------------------------
+#: Both slab backends, numpy skipped where unavailable.
+both_backends = pytest.mark.parametrize(
+    "backend",
+    [pytest.param("numpy", marks=needs_numpy), "list"],
+)
+
+#: Randomized lane mixes shared by the cohort/serial property tests:
+#: schemes and workloads sampled with repetition, so duplicate specs
+#: exercise multi-lane fingerprint groups sharing one snapshot.
+_SCHEME_NAMES = ["Baseline", "PRA", "SDS", "DBI+PRA"]
+_WORKLOADS = ["GUPS", "MIX1"]
+
+lane_choices = st.lists(
+    st.tuples(
+        st.sampled_from(_SCHEME_NAMES),
+        st.sampled_from(_WORKLOADS),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestCohortKernelOps:
+    """Column-wise cohort ops: correctness on both backends, plus the
+    slab-row aliasing contract for the PR-7 ``pd`` / ``next_refresh``
+    columns (all mutations go through *lane views*, so a passing test
+    proves the views alias the rows the ops read)."""
+
+    @staticmethod
+    def _slab(backend):
+        slab = BatchTimingCore(4, 2, 4, backend=backend)
+        lane1, lane3 = slab.lane(1), slab.lane(3)
+        lane1.open_bits[0] = 0b0101
+        lane1.next_refresh[:] = [700, 640]
+        lane1.pd[:] = [1, 1]
+        lane3.open_bits[1] = 0b1000
+        lane3.next_refresh[:] = [500, 900]
+        lane3.pd[0] = 1
+        return slab
+
+    @both_backends
+    def test_open_row_hits(self, backend):
+        slab = self._slab(backend)
+        assert open_row_hits(slab, [1, 3, 0]) == [0b0101, 0b1000, 0]
+
+    @both_backends
+    def test_refresh_due_aliases_lane_views(self, backend):
+        slab = self._slab(backend)
+        assert refresh_due(slab, [1, 3, 0]) == [640, 500, 0]
+        slab.lane(3).next_refresh[1] = 450  # view write, column read
+        assert refresh_due(slab, [3]) == [450]
+
+    @both_backends
+    def test_power_down_resident_aliases_lane_views(self, backend):
+        slab = self._slab(backend)
+        assert power_down_resident(slab, [1, 3, 0]) == [True, False, False]
+        slab.lane(3).pd[1] = 1
+        assert power_down_resident(slab, [3]) == [True]
+
+    @both_backends
+    def test_mask_compatible(self, backend):
+        slab = self._slab(backend)
+        lane0, lane2 = slab.lane(0), slab.lane(2)
+        lane0.open_mask[5] = 0b0011  # rank 1, bank 1 (g = 1*4 + 1)
+        lane2.open_mask[5] = 0b0110
+        # Fresh lanes hold FULL_MASK: everything is covered.
+        assert mask_compatible(slab, [0, 2, 1], 5, 0b0010) == [
+            True, True, True,
+        ]
+        assert mask_compatible(slab, [0, 2], 5, 0b0101) == [False, False]
+        assert mask_compatible(slab, [1], 5, FULL_MASK) == [True]
+
+    @both_backends
+    def test_decay_timers_clamps_in_place(self, backend):
+        slab = BatchTimingCore(3, 2, 4, backend=backend)
+        lane0, lane2 = slab.lane(0), slab.lane(2)
+        lane0.next_act_ok[:] = [10, 900]  # one stale, one live
+        lane0.gate[:] = [0, 55]
+        lane2.next_write_ok[:] = [99, 100]
+        decay_timers(slab, [0, 2], 100)
+        # Stale timers clamped to the cycle, live ones untouched — and
+        # the pre-existing lane views observe it (row identity kept).
+        assert lane0.next_act_ok == [100, 900]
+        assert lane0.gate == [100, 100]
+        assert lane2.next_write_ok == [100, 100]
+        assert slab.lane(2).next_col_ok == [100, 100]
+        # Lane 1 was not in the cohort: untouched.
+        assert slab.lane(1).next_act_ok == [0, 0]
+        # Non-timer columns are never decayed.
+        assert lane0.next_refresh == [0, 0]
+        assert lane0.last_act == [-1] * 8
+
+    @both_backends
+    def test_next_wake_min(self, backend):
+        assert next_wake_min([[7, 3, 9], [4, 4, 4]], backend) == [3, 4]
+        # Ragged rows (lanes with different candidate counts) must fall
+        # back cleanly on the numpy backend.
+        assert next_wake_min([[5], [2, 8], [6, 1, 7]], backend) == [5, 2, 1]
+
+    def test_reset_lane_clears_new_columns_in_place(self):
+        slab = self._slab("list")
+        lane1 = slab.lane(1)
+        slab.reset_lane(1)
+        assert lane1.pd == [0, 0]  # view saw the reset in place
+        assert lane1.next_refresh == [0, 0]
+        assert power_down_resident(slab, [1]) == [False]
+
+    @needs_numpy
+    def test_backends_agree(self):
+        a, b = self._slab("numpy"), self._slab("list")
+        slots = [3, 1, 0, 2]
+        assert open_row_hits(a, slots) == open_row_hits(b, slots)
+        assert refresh_due(a, slots) == refresh_due(b, slots)
+        assert power_down_resident(a, slots) == power_down_resident(b, slots)
+        assert mask_compatible(a, slots, 2, 0b11) == mask_compatible(
+            b, slots, 2, 0b11
+        )
+        decay_timers(a, slots, 50)
+        decay_timers(b, slots, 50)
+        for field in ("next_act_ok", "next_col_ok", "gate"):
+            assert getattr(a, field) == getattr(b, field), field
+
+
+# ----------------------------------------------------------------------
+class TestCohortStepping:
+    """Cohort stepping (PR 7) vs the PR-6 one-lane-per-pop loop.
+
+    ``BatchSystem.run(_cohort=False)`` is the retained interleaved
+    loop; the cohort fast path must be bit-identical to it on any lane
+    mix — it is the same screened controllers, re-armed column-wise.
+    """
+
+    @both_backends
+    def test_cohort_matches_interleaved_and_serial(self, backend):
+        specs = _specs()
+        serial = _serial(specs)
+        SNAPSHOTS.clear()
+        batch = BatchSystem(
+            specs, EVENTS, warmup_events_per_core=WARMUP, backend=backend
+        )
+        interleaved = [r.to_dict() for r in batch.run(_cohort=False)]
+        SNAPSHOTS.clear()
+        batch = BatchSystem(
+            specs, EVENTS, warmup_events_per_core=WARMUP, backend=backend
+        )
+        cohort = [r.to_dict() for r in batch.run()]
+        assert interleaved == serial
+        assert cohort == serial
+
+    @both_backends
+    @given(lanes=lane_choices, events=st.integers(min_value=50, max_value=250))
+    @settings(max_examples=4, deadline=None)
+    def test_random_cohorts_match_interleaved_loop(self, backend, lanes, events):
+        # Random lane cohorts: mixed schemes, duplicate specs (multi-
+        # lane fingerprint groups), and a forced DBI+PRA lane so every
+        # example mixes warm fingerprints and cold + snapshot-restored
+        # lanes.  Both arms start from a cold snapshot cache so their
+        # cold/restored structure is identical.
+        base = SystemConfig(cache=CacheConfig(llc_bytes=64 * 1024))
+        lanes = lanes + [("DBI+PRA", "MIX1")]
+        specs = [(base.with_scheme(by_name(s)), wl) for s, wl in lanes]
+        warmup = 600
+        SNAPSHOTS.clear()
+        batch = BatchSystem(
+            specs, events, warmup_events_per_core=warmup, backend=backend
+        )
+        interleaved = [r.to_dict() for r in batch.run(_cohort=False)]
+        SNAPSHOTS.clear()
+        batch = BatchSystem(
+            specs, events, warmup_events_per_core=warmup, backend=backend
+        )
+        assert [r.to_dict() for r in batch.run()] == interleaved
+
+
+# ----------------------------------------------------------------------
+class TestAutoBatch:
+    """``batch="auto"``: grid-sized lane count, memory permitting."""
+
+    def test_auto_matches_serial(self):
+        SNAPSHOTS.clear()
+        serial = _small_sweep().run()
+        SNAPSHOTS.clear()
+        assert _small_sweep().run(batch="auto") == serial
+
+    def test_lane_count_capped_by_available_memory(self, monkeypatch):
+        base = SystemConfig(cache=CacheConfig(llc_bytes=8 * 1024 * 1024))
+        # 64 MB available, 8 MB LLC -> 4 MB/lane envelope, half of
+        # available budgeted: 32 MB / 4 MB = 8 lanes.
+        monkeypatch.setattr(
+            sweep_mod, "_available_memory_bytes", lambda: 64 << 20
+        )
+        assert auto_batch_lanes(24, base) == 8
+        # Tiny machines still get one lane rather than zero.
+        monkeypatch.setattr(
+            sweep_mod, "_available_memory_bytes", lambda: 1 << 20
+        )
+        assert auto_batch_lanes(24, base) == 1
+
+    def test_unknown_memory_uses_grid_size(self, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "_available_memory_bytes", lambda: None)
+        assert auto_batch_lanes(24, SystemConfig()) == 24
+        assert auto_batch_lanes(3, SystemConfig()) == 3
+        with pytest.raises(ValueError, match="at least one grid point"):
+            auto_batch_lanes(0, SystemConfig())
+
+    def test_small_llc_floors_at_minimum_envelope(self, monkeypatch):
+        # A 128 KB LLC must not let the estimate claim thousands of
+        # lanes fit: the 4 MB floor covers queues/cores/controllers.
+        monkeypatch.setattr(
+            sweep_mod, "_available_memory_bytes", lambda: 256 << 20
+        )
+        assert auto_batch_lanes(1000, SystemConfig(cache=SMALL_CACHE)) == 32
+
+    def test_bad_batch_string_rejected(self):
+        with pytest.raises(ValueError, match="'auto'"):
+            _small_sweep().run(batch="turbo")
+
+    def test_cli_parses_auto_and_rejects_junk(self, capsys):
+        common = ["sweep", "--out", "grid.csv", "--batch"]
+        args = cli.build_parser().parse_args(common + ["auto"])
+        assert args.batch == "auto"
+        args = cli.build_parser().parse_args(common + ["6"])
+        assert args.batch == 6
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(common + ["fast"])
+        assert "--batch" in capsys.readouterr().err
+
+    def test_cli_auto_sweep_matches_plain(self, tmp_path):
+        plain, auto = tmp_path / "plain.csv", tmp_path / "auto.csv"
+        common = [
+            "sweep", "--schemes", "Baseline", "PRA", "--workloads", "GUPS",
+            "--events", "300",
+        ]
+        assert cli.main(common + ["--out", str(plain)]) == 0
+        assert cli.main(common + ["--batch", "auto", "--out", str(auto)]) == 0
+        assert auto.read_text() == plain.read_text()
+
+
+# ----------------------------------------------------------------------
 class TestWorkerBudgetGuard:
     def test_sweep_pool_over_cpu_budget_exits_nonzero(
         self, monkeypatch, tmp_path, capsys
@@ -298,19 +554,6 @@ class TestWorkerBudgetGuard:
 # (distinct warm fingerprint → snapshot-restored and cold lanes coexist
 # in one batch), and duplicate specs exercise multi-lane fingerprint
 # groups sharing one snapshot copy-on-write.
-_SCHEME_NAMES = ["Baseline", "PRA", "SDS", "DBI+PRA"]
-_WORKLOADS = ["GUPS", "MIX1"]
-
-lane_choices = st.lists(
-    st.tuples(
-        st.sampled_from(_SCHEME_NAMES),
-        st.sampled_from(_WORKLOADS),
-    ),
-    min_size=1,
-    max_size=5,
-)
-
-
 @given(lanes=lane_choices, events=st.integers(min_value=50, max_value=250))
 @settings(max_examples=5, deadline=None)
 def test_randomized_batches_match_serial(lanes, events):
