@@ -1,0 +1,105 @@
+"""Shared I/O for the benchmark snapshot artifacts.
+
+Every meta-benchmark that records numbers goes through
+:func:`update_results`, which read-modify-writes its section of
+``BENCH_throughput.json`` and refreshes the ``_env`` provenance stamp
+(engine, python/numpy versions, platform, git sha, and the comparison
+fingerprint from :func:`repro.engine.engine_env`).  The stamp is what
+makes the numbers *interpretable*: a throughput jump means nothing
+until you know whether the compiled engine, a different interpreter,
+or a different machine produced it — and the perf-trajectory guard
+(``check_perf_trajectory.py``) only ever compares entries whose
+fingerprints match.
+
+The benchmark conftest mirrors the whole snapshot (``_env`` included)
+into ``BENCH_history.jsonl``, one line per refreshing session.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+#: Where the benchmark snapshot lands (repo root; uploaded by CI).
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def git_head(root=None):
+    """Current commit sha (with ``-dirty`` suffix), or None outside git."""
+    root = str(root or RESULTS_PATH.parent)
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+        if sha.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    head = sha.stdout.strip()
+    if status.returncode == 0 and status.stdout.strip():
+        head += "-dirty"
+    return head
+
+
+def load_results(path=None):
+    """The current snapshot dict (tolerant of absence/corruption)."""
+    path = path or RESULTS_PATH
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text())
+    except (ValueError, OSError):
+        return {}
+
+
+def current_env():
+    """The ``_env`` stamp: engine provenance plus the git sha."""
+    from repro.engine import engine_env
+
+    env = engine_env()
+    env["git"] = git_head()
+    return env
+
+
+def _write(results, path):
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def update_results(section, payload, path=None):
+    """Replace one section of the snapshot and refresh ``_env``.
+
+    Returns the full snapshot as written.  Sections are either scheme
+    names or underscore-prefixed harness sections (``_construction``,
+    ``_sweep``, ``_batch``, ``_engine``); ``_env`` is reserved and
+    always rewritten here so it describes the process that last touched
+    the file.
+    """
+    path = path or RESULTS_PATH
+    results = load_results(path)
+    results[section] = payload
+    results["_env"] = current_env()
+    _write(results, path)
+    return results
+
+
+def update_subsection(section, key, payload, path=None):
+    """Merge ``payload`` under ``results[section][key]`` (+ ``_env``).
+
+    Used by the engine speedup harness, whose interpreted and compiled
+    measurements come from *different processes* writing the same
+    ``_engine`` section.
+    """
+    path = path or RESULTS_PATH
+    results = load_results(path)
+    sub = results.get(section)
+    if not isinstance(sub, dict):
+        sub = {}
+    sub[key] = payload
+    results[section] = sub
+    results["_env"] = current_env()
+    _write(results, path)
+    return results

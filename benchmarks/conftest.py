@@ -26,12 +26,12 @@ numbers.
 
 import json
 import os
-import subprocess
 import time
-from pathlib import Path
 
 import pytest
 
+from bench_io import RESULTS_PATH as THROUGHPUT_PATH
+from bench_io import git_head
 from repro.sim.config import SystemConfig
 from repro.sim.pool import SimPool
 from repro.sim.runner import ExperimentRunner
@@ -48,34 +48,11 @@ POOL_WORKERS = int(os.environ.get("REPRO_POOL", "0"))
 #: The paper's 14 multiprogrammed workloads, in presentation order.
 WORKLOAD_ORDER = list(BENCHMARKS) + [f"MIX{i}" for i in range(1, 7)]
 
-#: Snapshot numbers written by the throughput meta-benchmarks.
-THROUGHPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
-
 #: Per-commit perf trajectory: one JSON line per benchmark session
-#: that refreshed the throughput snapshot.
+#: that refreshed the throughput snapshot.  (The snapshot path itself,
+#: and the git helper, live in :mod:`bench_io` so the meta-benchmarks
+#: and the trajectory guard share them.)
 HISTORY_PATH = THROUGHPUT_PATH.with_name("BENCH_history.jsonl")
-
-
-def _git_head() -> "str | None":
-    """Current commit sha (with ``-dirty`` suffix), or None outside git."""
-    root = str(THROUGHPUT_PATH.parent)
-    try:
-        sha = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=root, capture_output=True, text=True, timeout=10,
-        )
-        if sha.returncode != 0:
-            return None
-        status = subprocess.run(
-            ["git", "status", "--porcelain"],
-            cwd=root, capture_output=True, text=True, timeout=10,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return None
-    head = sha.stdout.strip()
-    if status.returncode == 0 and status.stdout.strip():
-        head += "-dirty"
-    return head
 
 
 def _throughput_mtime() -> "float | None":
@@ -107,7 +84,7 @@ def pytest_sessionfinish(session, exitstatus):
     except (OSError, ValueError):
         return
     record = {
-        "commit": _git_head(),
+        "commit": git_head(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "exitstatus": int(getattr(exitstatus, "value", exitstatus)),
         "sections": sections,

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Compiled-vs-interpreted engine speedup: measure and enforce.
+
+The two engines cannot coexist in one process (extension modules
+shadow the ``.py`` sources at the same import paths), so the speedup
+is measured as two process invocations writing into one artifact::
+
+    REPRO_ENGINE=interpreted python benchmarks/engine_bench.py measure
+    REPRO_COMPILED=1 python setup.py build_ext --inplace
+    python benchmarks/engine_bench.py measure            # auto: compiled
+    python benchmarks/engine_bench.py enforce --floor 1.8
+
+``measure`` runs the standard throughput point (PRA, MIX2, 4 cores,
+512 KiB LLC — the same configuration as
+``test_simulator_throughput.one_run``) best-of-N and records req/s
+under ``_engine.<engine>`` in ``BENCH_throughput.json``; ``enforce``
+reads both labels back and fails below the floor (1.8x locally, CI
+passes ``--floor 1.5`` to absorb shared-runner jitter).
+"""
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))  # bench_io
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_io import update_subsection, load_results  # noqa: E402
+
+EVENTS = 1500
+WARMUP = 2000
+DEFAULT_ROUNDS = 3
+DEFAULT_FLOOR = 1.8
+
+
+def measure(label=None, rounds=DEFAULT_ROUNDS):
+    """Record best-of-``rounds`` req/s under ``_engine.<label>``."""
+    from repro.engine import ACTIVE_ENGINE, engine_env
+    from repro.core.schemes import PRA
+    from repro.sim.config import CacheConfig, SystemConfig
+    from repro.sim.system import System
+    from repro.workloads.mixes import workload
+
+    label = label or ACTIVE_ENGINE
+    rates = []
+    served = cycles = 0
+    for _ in range(rounds):
+        config = SystemConfig(
+            scheme=PRA, cache=CacheConfig(llc_bytes=512 * 1024)
+        )
+        system = System(
+            config, workload("MIX2"), EVENTS, warmup_events_per_core=WARMUP
+        )
+        t0 = time.perf_counter()
+        result = system.run()
+        elapsed = time.perf_counter() - t0
+        served = result.controller.total_served
+        cycles = result.runtime_cycles
+        rates.append(served / elapsed)
+    best = max(rates)
+    print(f"engine-bench: {label} engine (process runs "
+          f"{ACTIVE_ENGINE}): {best:,.0f} req/s best-of-{rounds} "
+          f"({served} served, {cycles} cycles)")
+    update_subsection("_engine", label, {
+        "requests_per_second_best_of_n": round(best),
+        "rounds": rounds,
+        "engine": ACTIVE_ENGINE,
+        "fingerprint": engine_env()["fingerprint"],
+        "requests_served": served,
+        "simulated_cycles": cycles,
+        "events_per_core": EVENTS,
+        "warmup_events_per_core": WARMUP,
+        "workload": "MIX2",
+    })
+    return 0
+
+
+def enforce(floor=DEFAULT_FLOOR):
+    """Fail unless compiled/interpreted speedup reaches ``floor``."""
+    section = load_results().get("_engine")
+    if not isinstance(section, dict):
+        print("engine-bench: no _engine section in BENCH_throughput.json; "
+              "run 'measure' on both engines first")
+        return 1
+    missing = [
+        name for name in ("interpreted", "compiled") if name not in section
+    ]
+    if missing:
+        print(f"engine-bench: missing measurement(s): {', '.join(missing)}")
+        return 1
+    interp = section["interpreted"]["requests_per_second_best_of_n"]
+    compiled = section["compiled"]["requests_per_second_best_of_n"]
+    if section["compiled"].get("engine") != "compiled":
+        print("engine-bench: the 'compiled' measurement was produced by a "
+              "process running the interpreted engine — build first")
+        return 1
+    speedup = compiled / interp if interp else 0.0
+    print(f"engine-bench: compiled {compiled:,.0f} req/s vs interpreted "
+          f"{interp:,.0f} req/s -> {speedup:.2f}x (floor {floor}x)")
+    if speedup < floor:
+        print("engine-bench: FAIL — compiled engine below the speedup floor")
+        return 1
+    print("engine-bench: ok")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    m = sub.add_parser("measure", help="record req/s for this process's engine")
+    m.add_argument("--label", default=None,
+                   help="artifact key (default: the active engine)")
+    m.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    e = sub.add_parser("enforce", help="check compiled/interpreted speedup")
+    e.add_argument("--floor", type=float, default=float(
+        os.environ.get("REPRO_ENGINE_SPEEDUP_FLOOR", DEFAULT_FLOOR)
+    ))
+    args = parser.parse_args(argv)
+    if args.command == "measure":
+        return measure(label=args.label, rounds=args.rounds)
+    return enforce(floor=args.floor)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,6 @@ section with a ``REPRO_BATCH_SPEEDUP_FLOOR`` floor (3x locally, 2x in
 CI) over the warm pool, plus a 10x floor over cold spawn.
 """
 
-import json
 import os
 import time
 
@@ -39,7 +38,7 @@ from repro.sim.pool import SimPool
 from repro.sim.snapshot import SNAPSHOTS
 from repro.sim.sweep import Sweep
 
-from test_simulator_throughput import RESULTS_PATH
+from bench_io import update_results
 
 #: Kept small so the grid is warmup-dominated, like real sensitivity
 #: sweeps at screening fidelity: the warm-state reuse the pool provides
@@ -101,13 +100,7 @@ def test_sweep_pool_speedup():
     print(f"  warm pool      {pooled_s:6.2f} s  ({points / pooled_s:6.1f} points/s)")
     print(f"  speedup        {speedup:6.2f}x  (floor {floor}x)")
 
-    results = {}
-    if RESULTS_PATH.exists():
-        try:
-            results = json.loads(RESULTS_PATH.read_text())
-        except (ValueError, OSError):
-            results = {}
-    results["_sweep"] = {
+    update_results("_sweep", {
         "grid_points": points,
         "workers": WORKERS,
         "events_per_core": EVENTS,
@@ -117,8 +110,7 @@ def test_sweep_pool_speedup():
         "pooled_seconds": round(pooled_s, 3),
         "pooled_points_per_second": round(points / pooled_s, 2),
         "pooled_speedup": round(speedup, 2),
-    }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    })
 
     assert speedup >= floor
 
@@ -202,13 +194,7 @@ def test_batch_sweep_speedup():
     print(f"  vs warm pool   {pool_speedup:6.2f}x  (floor {floor}x)")
     print(f"  vs cold spawn  {cold_speedup:6.2f}x  (floor 10x)")
 
-    results = {}
-    if RESULTS_PATH.exists():
-        try:
-            results = json.loads(RESULTS_PATH.read_text())
-        except (ValueError, OSError):
-            results = {}
-    results["_batch"] = {
+    update_results("_batch", {
         "grid_points": points,
         "batch_lanes": points,
         # Cohort stepping: same-cycle lanes screened column-wise
@@ -227,8 +213,7 @@ def test_batch_sweep_speedup():
         "batched_points_per_second": round(points / batch_s, 2),
         "batched_speedup_vs_pool": round(pool_speedup, 2),
         "batched_speedup_vs_cold": round(cold_speedup, 2),
-    }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    })
 
     assert pool_speedup >= floor
     assert cold_speedup >= 10.0

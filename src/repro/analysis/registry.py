@@ -31,11 +31,31 @@ FAST_PATH_MODULES = frozenset(
     {
         "src/repro/dram/soa.py",
         "src/repro/dram/soa_batch.py",
+        "src/repro/dram/rank.py",
+        "src/repro/controller/memctrl.py",
+        "src/repro/cache/set_assoc.py",
         "src/repro/workloads/synthetic.py",
         "src/repro/sim/snapshot.py",
         "src/repro/sim/system.py",
         "src/repro/sim/pool.py",
         "src/repro/sim/batch.py",
+    }
+)
+
+#: Repo-relative source paths of the compiled-engine modules — the
+#: modules ``repro.engine.COMPILED_MODULES`` names, which the
+#: ``REPRO_COMPILED=1`` build compiles with mypyc.  The
+#: ``compiled-incompatible`` rule restricts these (and any module
+#: carrying a ``# reprolint: compiled`` comment) to the construct
+#: subset mypyc can compile, so compile-list drift fails lint instead
+#: of failing the CI build.  tests/test_engine.py pins this set against
+#: ``repro.engine.COMPILED_MODULES`` so the two lists cannot diverge.
+COMPILED_MODULE_PATHS = frozenset(
+    {
+        "src/repro/cache/set_assoc.py",
+        "src/repro/controller/memctrl.py",
+        "src/repro/dram/rank.py",
+        "src/repro/dram/soa.py",
     }
 )
 
@@ -88,6 +108,14 @@ def is_registered_fast_path(path: str) -> bool:
     """True if ``path`` is a registered fast-path module (oracle rules)."""
     norm = normalize(path)
     return any(norm.endswith(mod) for mod in FAST_PATH_MODULES)
+
+
+def is_compiled_module(path: str, source: str) -> bool:
+    """True if the mypyc-compatibility rule applies to this module."""
+    norm = normalize(path)
+    if any(norm.endswith(mod) for mod in COMPILED_MODULE_PATHS):
+        return True
+    return "# reprolint: compiled" in source
 
 
 def allows_energy_accumulation(path: str) -> bool:

@@ -24,25 +24,75 @@ tests and introspection.
 from __future__ import annotations
 
 from array import array
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.line import LineView
 from repro.dram.geometry import LINE_BYTES
 
+# Oracle-parity declaration enforced by reprolint: the flat tag/mask/
+# stamp arrays are the fast path; the LineView write-through views (and
+# the ``_sets`` compatibility property) are the object oracle.  The
+# module is also on the compiled-engine list
+# (repro.engine.COMPILED_MODULES), so its classes avoid constructs
+# mypyc cannot compile — see the ``compiled-incompatible`` lint rule.
+REPRO_FAST_PATH = True
+ORACLE_TWIN = ("repro.cache.line",)
+ORACLE_TESTS = (
+    "tests/test_engine_identity.py",
+    "tests/test_engine_equivalence.py",
+)
 
-@dataclass(slots=True)
+
 class CacheStats:
-    """Hit/miss/eviction counters plus the dirty-word histogram."""
+    """Hit/miss/eviction counters plus the dirty-word histogram.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    dirty_evictions: int = 0
-    #: Histogram of dirty-word counts of dirty evicted lines (Fig. 3).
-    dirty_word_hist: Dict[int, int] = field(
-        default_factory=lambda: {n: 0 for n in range(1, 9)}
+    A plain ``__slots__`` class rather than ``@dataclass(slots=True)``:
+    the slots-dataclass decorator *replaces* the class object, which
+    mypyc cannot compile.  Construction, repr and equality match the
+    old dataclass field-for-field.
+    """
+
+    __slots__ = (
+        "hits", "misses", "evictions", "dirty_evictions", "dirty_word_hist"
     )
+
+    def __init__(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        evictions: int = 0,
+        dirty_evictions: int = 0,
+        dirty_word_hist: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+        self.dirty_evictions = dirty_evictions
+        #: Histogram of dirty-word counts of dirty evicted lines (Fig. 3).
+        self.dirty_word_hist: Dict[int, int] = (
+            {n: 0 for n in range(1, 9)}
+            if dirty_word_hist is None
+            else dirty_word_hist
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, "
+            f"dirty_evictions={self.dirty_evictions}, "
+            f"dirty_word_hist={self.dirty_word_hist})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return (
+            self.hits == other.hits
+            and self.misses == other.misses
+            and self.evictions == other.evictions
+            and self.dirty_evictions == other.dirty_evictions
+            and self.dirty_word_hist == other.dirty_word_hist
+        )
 
     @property
     def accesses(self) -> int:
@@ -62,12 +112,33 @@ class CacheStats:
         return {n: c / total for n, c in self.dirty_word_hist.items()}
 
 
-@dataclass(slots=True)
 class Eviction:
-    """A victim pushed out of (or cleaned in) a cache level."""
+    """A victim pushed out of (or cleaned in) a cache level.
 
-    line_addr: int
-    dirty_mask: int
+    Plain ``__slots__`` class for the same mypyc reason as
+    :class:`CacheStats`; allocated on every eviction, so it stays as
+    lean as the dataclass it replaces.
+    """
+
+    __slots__ = ("line_addr", "dirty_mask")
+
+    def __init__(self, line_addr: int, dirty_mask: int) -> None:
+        self.line_addr = line_addr
+        self.dirty_mask = dirty_mask
+
+    def __repr__(self) -> str:
+        return (
+            f"Eviction(line_addr={self.line_addr}, "
+            f"dirty_mask={self.dirty_mask})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Eviction):
+            return NotImplemented
+        return (
+            self.line_addr == other.line_addr
+            and self.dirty_mask == other.dirty_mask
+        )
 
     @property
     def dirty(self) -> bool:

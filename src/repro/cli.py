@@ -217,7 +217,48 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  read latency (cycles): p50 {reads.percentile(50):.0f}  "
               f"p95 {reads.percentile(95):.0f}  p99 {reads.percentile(99):.0f}  "
               f"max {reads.max_value}")
+    if getattr(args, "profile", False):
+        _print_phase_counters(result.controller)
     return 0
+
+
+def _print_phase_counters(stats) -> None:
+    """Scheduler phase counters for ``--profile`` runs.
+
+    cProfile cannot see inside mypyc-compiled frames, so under the
+    compiled engine a profile of the hot path would come back empty.
+    The controller therefore counts its scheduling phases directly
+    (``sched_passes`` plus the per-phase command counters), and this
+    table — identical on both engines — is where ``--profile`` surfaces
+    them.
+    """
+    passes = stats.sched_passes
+    activations = stats.total_activations
+    # Streaks commit N column commands in one scheduling decision, so
+    # decisions = singles + streaks = served - streak_commands + streaks.
+    column_decisions = stats.total_served - stats.streak_commands + stats.streaks
+    issued = activations + column_decisions + stats.precharges + stats.refreshes
+    print()
+    print("  scheduler phases (both engines; cProfile is blind in "
+          "compiled frames):")
+    rows = [
+        ("scheduling passes", passes, "past the command-bus gate"),
+        ("decisions issued", issued,
+         f"{issued / passes:.3f} per pass" if passes else ""),
+        ("  activations", activations, ""),
+        ("  column decisions", column_decisions,
+         (f"{stats.streaks} streaks x "
+          f"{stats.streak_commands / stats.streaks:.2f} cmds mean"
+          if stats.streaks else "no streaks")),
+        ("  precharges", stats.precharges, ""),
+        ("  refreshes", stats.refreshes, ""),
+        ("housekeeping", stats.power_down_entries,
+         "power-down entries (idle-close walks)"),
+        ("drain entries", stats.drain_entries, "write-drain mode switches"),
+    ]
+    for label, value, note in rows:
+        suffix = f"  ({note})" if note else ""
+        print(f"    {label:<20}{value:>12,}{suffix}")
 
 
 def cmd_compare(args: argparse.Namespace) -> int:

@@ -87,6 +87,11 @@ class ControllerStats:
     #: streaks`` is the mean streak length.
     streaks: int = 0
     streak_commands: int = 0
+    #: Scheduling passes that got past the command-bus gate (one per
+    #: ``ChannelController.step`` call that unpacked the hot arrays).
+    #: Profiling-only: feeds the ``--profile`` phase table and the
+    #: engine-identity digests, not the result summaries.
+    sched_passes: int = 0
 
     def merge(self, other: "ControllerStats") -> None:
         """Accumulate another channel's counters into this one."""
@@ -105,6 +110,7 @@ class ControllerStats:
         self.false_hit_reactivations += other.false_hit_reactivations
         self.streaks += other.streaks
         self.streak_commands += other.streak_commands
+        self.sched_passes += other.sched_passes
 
     # ------------------------------------------------------------------
     # Derived metrics used by the experiment harness

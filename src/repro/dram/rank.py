@@ -38,6 +38,18 @@ from repro.dram.bank import ActivationWindow, Bank, BankStateError
 from repro.dram.soa import TimingCore
 from repro.dram.timing import TimingParams
 
+# Oracle-parity declaration enforced by reprolint: the TimingCore-backed
+# property views are the fast path; the Bank object model is the oracle.
+# Also on the compiled-engine list (repro.engine.COMPILED_MODULES),
+# pinned bit-identical by the golden digests in
+# tests/test_engine_identity.py.
+REPRO_FAST_PATH = True
+ORACLE_TWIN = ("repro.dram.bank",)
+ORACLE_TESTS = (
+    "tests/test_engine_equivalence.py",
+    "tests/test_engine_identity.py",
+)
+
 
 class Rank:
     """One rank of DRAM chips and its inter-bank constraints."""

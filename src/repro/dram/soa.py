@@ -37,13 +37,21 @@ column-wise across lanes without touching the ``Rank`` objects.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from repro.dram.geometry import FULL_MASK
 
 # Oracle-parity declaration enforced by reprolint: this module is the
 # array-backed fast path; the Bank/Rank object views are the oracle.
+# It is also on the compiled-engine list (repro.engine.COMPILED_MODULES):
+# the mypyc build must stay bit-identical to this source, pinned by the
+# golden digests in tests/test_engine_identity.py.
 REPRO_FAST_PATH = True
 ORACLE_TWIN = ("repro.dram.bank", "repro.dram.rank")
-ORACLE_TESTS = ("tests/test_engine_equivalence.py",)
+ORACLE_TESTS = (
+    "tests/test_engine_equivalence.py",
+    "tests/test_engine_identity.py",
+)
 
 
 class TimingCore:
@@ -79,37 +87,40 @@ class TimingCore:
         self.num_ranks = num_ranks
         self.num_banks = num_banks
         n = num_ranks * num_banks
+        # Element types are annotated explicitly (not inferred from the
+        # literals) so the mypyc build of this module gives every array
+        # an exact native attribute type.
         #: Open row per bank; -1 when precharged.
-        self.open_row = [-1] * n
+        self.open_row: List[int] = [-1] * n
         #: PRA mask the open row was activated under.
-        self.open_mask = [FULL_MASK] * n
+        self.open_mask: List[int] = [FULL_MASK] * n
         #: Earliest cycle an ACT may be issued to the bank.
-        self.act_ready = [0] * n
+        self.act_ready: List[int] = [0] * n
         #: Earliest cycle a column (RD/WR) command may be issued.
-        self.col_ready = [0] * n
+        self.col_ready: List[int] = [0] * n
         #: Earliest cycle a PRE may be issued.
-        self.pre_ready = [0] * n
+        self.pre_ready: List[int] = [0] * n
         #: Cycle of the most recent activation (stats/debug).
-        self.last_act = [-1] * n
+        self.last_act: List[int] = [-1] * n
         #: Column accesses served by the open row (row-hit cap).
-        self.accesses = [0] * n
+        self.accesses: List[int] = [0] * n
         #: Pending auto-precharge flag (restricted close-page).
-        self.autopre = [False] * n
+        self.autopre: List[bool] = [False] * n
         #: Request id the activation was reserved for, or None.
-        self.reserved = [None] * n
+        self.reserved: List[Optional[int]] = [None] * n
         #: Earliest next-ACT cycle per rank (tRRD).
-        self.next_act_ok = [0] * num_ranks
+        self.next_act_ok: List[int] = [0] * num_ranks
         #: Earliest next column command per rank (tCCD).
-        self.next_col_ok = [0] * num_ranks
+        self.next_col_ok: List[int] = [0] * num_ranks
         #: Earliest READ per rank (write-to-read turnaround).
-        self.next_read_ok = [0] * num_ranks
+        self.next_read_ok: List[int] = [0] * num_ranks
         #: Earliest WRITE per rank (DM-pin write-buffer hold).
-        self.next_write_ok = [0] * num_ranks
+        self.next_write_ok: List[int] = [0] * num_ranks
         #: max(pd_exit_ready, refresh_until) per rank.
-        self.gate = [0] * num_ranks
+        self.gate: List[int] = [0] * num_ranks
         #: Bitmask of banks with an open row, per rank.
-        self.open_bits = [0] * num_ranks
+        self.open_bits: List[int] = [0] * num_ranks
         #: 1 while the rank is in precharge power-down, else 0.
-        self.pd = [0] * num_ranks
+        self.pd: List[int] = [0] * num_ranks
         #: Next refresh deadline per rank (``Rank.__init__`` seeds tREFI).
-        self.next_refresh = [0] * num_ranks
+        self.next_refresh: List[int] = [0] * num_ranks

@@ -1,0 +1,229 @@
+"""Engine selection: compiled (mypyc) vs interpreted simulation hot path.
+
+The scheduler's hot path — :mod:`repro.dram.soa` (TimingCore),
+:mod:`repro.controller.memctrl` (the FR-FCFS step loop),
+:mod:`repro.dram.rank` and :mod:`repro.cache.set_assoc` — is strict-mypy
+clean and compiles with mypyc into C extension modules (the
+``.[compiled]`` extra; ``REPRO_COMPILED=1 python setup.py build_ext
+--inplace``).  The compiled build is a drop-in replacement: extension
+modules shadow the ``.py`` sources at the same import paths, so no call
+site changes.  Its oracle twin is the interpreted source itself, pinned
+bit-identical through the golden digests in
+``tests/test_engine_identity.py``.
+
+Selection mirrors the batch kernel's backend idiom
+(``HAVE_NUMPY`` / ``REPRO_BATCH_BACKEND`` in :mod:`repro.dram.soa_batch`):
+
+* ``REPRO_ENGINE=auto`` (default) — use the compiled modules when every
+  one of them is installed, else the interpreted sources;
+* ``REPRO_ENGINE=compiled`` — require the compiled modules; fall back to
+  interpreted with a loud :class:`EngineFallbackWarning` when absent;
+* ``REPRO_ENGINE=interpreted`` — force the ``.py`` sources even when
+  extension modules are installed (a :data:`sys.meta_path` finder loads
+  the listed modules through ``SourceFileLoader``, since an extension
+  module otherwise shadows its source in the same directory);
+* anything else raises ``ValueError`` (loud, like an unknown
+  ``REPRO_BATCH_BACKEND``).
+
+The choice is made once, at ``import repro`` time, *before* any hot
+module is imported — :data:`ACTIVE_ENGINE` records it.  Detection probes
+the filesystem directly instead of ``importlib.util.find_spec`` because
+``find_spec`` imports parent packages, which would pull the hot modules
+in ahead of the finder installation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import json
+import os
+import sys
+import warnings
+from typing import Dict, List, Optional, Sequence
+
+#: Dotted names of the modules the ``.[compiled]`` extra compiles with
+#: mypyc.  This is the single source of truth: ``setup.py`` derives the
+#: source list from it, and the reprolint registry's
+#: ``COMPILED_MODULE_PATHS`` is test-pinned to mirror it
+#: (``tests/test_engine.py``).
+COMPILED_MODULES = (
+    "repro.cache.set_assoc",
+    "repro.controller.memctrl",
+    "repro.dram.rank",
+    "repro.dram.soa",
+)
+
+#: Valid ``REPRO_ENGINE`` values.
+ENGINES = ("auto", "compiled", "interpreted")
+
+
+class EngineFallbackWarning(RuntimeWarning):
+    """``REPRO_ENGINE=compiled`` was requested but no compiled build is
+    installed; the interpreted engine runs instead."""
+
+
+def _package_root() -> str:
+    """Directory of the ``repro`` package itself."""
+    return os.path.dirname(os.path.abspath(__file__))
+
+
+def _module_base(module: str, root: str) -> str:
+    """Path of ``module`` inside the package, without extension."""
+    return os.path.join(root, *module.split(".")[1:])
+
+
+def compiled_source_paths(root: Optional[str] = None) -> List[str]:
+    """``.py`` sources handed to ``mypycify`` by the setup.py shim."""
+    root = root or _package_root()
+    return [_module_base(module, root) + ".py" for module in COMPILED_MODULES]
+
+
+def compiled_status(root: Optional[str] = None) -> Dict[str, bool]:
+    """Per-module: does a compiled extension exist next to the source?"""
+    root = root or _package_root()
+    status: Dict[str, bool] = {}
+    for module in COMPILED_MODULES:
+        base = _module_base(module, root)
+        status[module] = any(
+            os.path.isfile(base + suffix)
+            for suffix in importlib.machinery.EXTENSION_SUFFIXES
+        )
+    return status
+
+
+def compiled_available(root: Optional[str] = None) -> bool:
+    """True when *every* hot module has a compiled extension installed.
+
+    All-or-nothing on purpose: a partial build would mix native and
+    interpreted frames across one call chain, which is a performance
+    trap and makes provenance (`_env.engine`) ambiguous.
+    """
+    return all(compiled_status(root).values())
+
+
+def resolve_engine(
+    requested: Optional[str] = None, available: Optional[bool] = None
+) -> str:
+    """Resolve the engine choice to ``"compiled"`` or ``"interpreted"``.
+
+    ``requested`` defaults to ``$REPRO_ENGINE`` (then ``"auto"``);
+    ``available`` defaults to :func:`compiled_available`.  Both are
+    injectable so the decision table is unit-testable without builds.
+    """
+    if requested is None:
+        requested = os.environ.get("REPRO_ENGINE", "auto") or "auto"
+    if requested not in ENGINES:
+        raise ValueError(
+            f"REPRO_ENGINE={requested!r} is not a valid engine; "
+            f"expected one of {', '.join(ENGINES)}"
+        )
+    if available is None:
+        available = compiled_available()
+    if requested == "compiled" and not available:
+        warnings.warn(
+            "REPRO_ENGINE=compiled requested but no compiled modules are "
+            "installed (build them with: pip install '.[compiled]' && "
+            "REPRO_COMPILED=1 python setup.py build_ext --inplace); "
+            "falling back to the interpreted engine",
+            EngineFallbackWarning,
+            stacklevel=2,
+        )
+        return "interpreted"
+    if requested == "auto":
+        return "compiled" if available else "interpreted"
+    return requested
+
+
+class _SourceOnlyFinder:
+    """Meta-path finder forcing ``.py`` loads for the hot modules.
+
+    An extension module shadows a same-named source file in the same
+    directory (``ExtensionFileLoader`` precedes ``SourceFileLoader`` on
+    ``FileFinder``'s hook list), so ``REPRO_ENGINE=interpreted`` with a
+    compiled build installed needs this finder ahead of the default
+    path-based machinery.  Only the listed modules are intercepted.
+    """
+
+    def __init__(self, root: str, modules: Sequence[str] = COMPILED_MODULES):
+        self._root = root
+        self._modules = frozenset(modules)
+
+    def find_spec(
+        self,
+        fullname: str,
+        path: Optional[Sequence[str]] = None,
+        target: Optional[object] = None,
+    ) -> Optional[importlib.machinery.ModuleSpec]:
+        if fullname not in self._modules:
+            return None
+        source = _module_base(fullname, self._root) + ".py"
+        if not os.path.isfile(source):
+            return None
+        loader = importlib.machinery.SourceFileLoader(fullname, source)
+        return importlib.util.spec_from_file_location(
+            fullname, source, loader=loader
+        )
+
+
+def _bootstrap() -> str:
+    """Pick the engine for this process (runs once, at ``import repro``)."""
+    root = _package_root()
+    engine = resolve_engine()
+    if engine == "interpreted" and any(compiled_status(root).values()):
+        if not any(isinstance(f, _SourceOnlyFinder) for f in sys.meta_path):
+            sys.meta_path.insert(0, _SourceOnlyFinder(root))
+    return engine
+
+
+#: The engine this process runs on: ``"compiled"`` or ``"interpreted"``.
+#: Fixed at ``import repro`` time; benchmark artifacts stamp it into
+#: their ``_env`` provenance section.
+ACTIVE_ENGINE: str = _bootstrap()
+
+
+def active_engine() -> str:
+    """The engine selected for this process."""
+    return ACTIVE_ENGINE
+
+
+def engine_env() -> Dict[str, object]:
+    """Provenance of the current execution environment.
+
+    Stamped as the ``_env`` section of ``BENCH_throughput.json`` (and
+    thus into every ``BENCH_history.jsonl`` record), so throughput
+    trajectories are only ever compared within one environment.  The
+    ``fingerprint`` hashes the fields that determine comparability —
+    engine, python/numpy major.minor, platform — and deliberately
+    excludes the git sha (the whole point is comparing across commits)
+    and the CPU count (benchmarks here are single-point serial).
+    """
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    import platform
+
+    python_version = platform.python_version()
+    comparable = {
+        "engine": ACTIVE_ENGINE,
+        "python": ".".join(python_version.split(".")[:2]),
+        "numpy": (
+            ".".join(numpy_version.split(".")[:2]) if numpy_version else None
+        ),
+        "platform": f"{platform.system().lower()}-{platform.machine()}",
+    }
+    digest = hashlib.sha256(
+        json.dumps(comparable, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "engine": ACTIVE_ENGINE,
+        "python": python_version,
+        "numpy": numpy_version,
+        "platform": comparable["platform"],
+        "cpus": os.cpu_count(),
+        "fingerprint": digest[:16],
+    }

@@ -1,0 +1,39 @@
+"""Fixture: mypyc-incompatible constructs in a compiled-engine module.
+
+Opts into the ``compiled-incompatible`` rule via the marker comment
+below (standing in for membership in
+``repro.analysis.registry.COMPILED_MODULE_PATHS``).  Every construct
+here either fails or silently deoptimizes a mypyc build.
+"""
+# reprolint: compiled
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)  # the slots decorator replaces the class object
+class SlotsDataclass:
+    value: int = 0
+
+
+class WithKeywords(dict, metaclass=type):  # class keywords + 2 bases
+    pass
+
+
+class WithFinalizer:
+    def __del__(self):  # finalizers unsupported on native classes
+        pass
+
+
+def make_class():
+    class Nested:  # mypyc only compiles module-level classes
+        pass
+
+    return Nested
+
+
+def dynamic(code):
+    exec(code)  # dynamically executed code is invisible to mypyc
+
+
+def unbind(obj):
+    del obj.attr  # native attributes cannot be unbound

@@ -1,0 +1,214 @@
+"""Engine selection layer: decision table, detection, forcing, fallback.
+
+``repro.engine`` picks compiled-vs-interpreted once per process, before
+any hot module is imported.  These tests pin the decision table
+(injectable, so no compiled build is needed), the filesystem-based
+detection, the ``REPRO_ENGINE`` forcing paths (in subprocesses — the
+choice is import-time), the loud fallback warning, and the provenance
+stamp (``engine_env``) that benchmark artifacts carry.
+"""
+
+import importlib.machinery
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.engine import (
+    ACTIVE_ENGINE,
+    COMPILED_MODULES,
+    ENGINES,
+    EngineFallbackWarning,
+    _SourceOnlyFinder,
+    active_engine,
+    compiled_available,
+    compiled_source_paths,
+    compiled_status,
+    engine_env,
+    resolve_engine,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _run_python(code, **env_overrides):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.pop("REPRO_ENGINE", None)
+    env.update(env_overrides)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env,
+    )
+
+
+# ----------------------------------------------------------------------
+# Decision table (injectable; no build required).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "requested,available,expected",
+    [
+        ("auto", True, "compiled"),
+        ("auto", False, "interpreted"),
+        ("compiled", True, "compiled"),
+        ("interpreted", True, "interpreted"),
+        ("interpreted", False, "interpreted"),
+    ],
+)
+def test_resolve_engine_decision_table(requested, available, expected):
+    assert resolve_engine(requested, available=available) == expected
+
+
+def test_resolve_engine_fallback_warns():
+    """compiled-but-unavailable falls back loudly, not silently."""
+    with pytest.warns(EngineFallbackWarning, match="falling back"):
+        assert resolve_engine("compiled", available=False) == "interpreted"
+
+
+def test_resolve_engine_rejects_unknown():
+    with pytest.raises(ValueError, match="not a valid engine"):
+        resolve_engine("jit", available=False)
+
+
+def test_resolve_engine_reads_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "interpreted")
+    assert resolve_engine(available=True) == "interpreted"
+    monkeypatch.setenv("REPRO_ENGINE", "")
+    assert resolve_engine(available=False) == "interpreted"
+
+
+# ----------------------------------------------------------------------
+# Detection: filesystem probe, all-or-nothing availability.
+# ----------------------------------------------------------------------
+def _fake_tree(tmp_path, compiled):
+    """Lay out module sources (plus fake extensions for ``compiled``)."""
+    suffix = importlib.machinery.EXTENSION_SUFFIXES[0]
+    for module in COMPILED_MODULES:
+        rel = module.split(".")[1:]
+        base = tmp_path.joinpath(*rel)
+        base.parent.mkdir(parents=True, exist_ok=True)
+        base.with_name(base.name + ".py").write_text("x = 1\n")
+        if module in compiled:
+            base.with_name(base.name + suffix).write_bytes(b"\x00")
+    return str(tmp_path)
+
+
+def test_compiled_status_probes_filesystem(tmp_path):
+    some = COMPILED_MODULES[:2]
+    root = _fake_tree(tmp_path, compiled=some)
+    status = compiled_status(root)
+    assert set(status) == set(COMPILED_MODULES)
+    for module in COMPILED_MODULES:
+        assert status[module] == (module in some)
+    assert not compiled_available(root)
+
+
+def test_compiled_available_needs_every_module(tmp_path):
+    """A partial build must not be treated as a compiled install."""
+    assert compiled_available(_fake_tree(tmp_path, COMPILED_MODULES))
+    assert not compiled_available(_fake_tree(tmp_path / "p", COMPILED_MODULES[1:]))
+
+
+def test_compiled_source_paths_exist():
+    """The list handed to mypycify names real, importable sources."""
+    paths = compiled_source_paths()
+    assert len(paths) == len(COMPILED_MODULES)
+    for path in paths:
+        assert os.path.isfile(path), path
+
+
+def test_this_environment_runs_interpreted():
+    """The dev container has no mypyc build: detection must say so."""
+    assert ACTIVE_ENGINE in ("compiled", "interpreted")
+    assert ACTIVE_ENGINE == ("compiled" if compiled_available() else "interpreted")
+    assert active_engine() == ACTIVE_ENGINE == repro.ACTIVE_ENGINE
+
+
+# ----------------------------------------------------------------------
+# Forced-interpreted source loading.
+# ----------------------------------------------------------------------
+def test_source_only_finder_serves_py_sources():
+    """The finder resolves listed modules to SourceFileLoader specs."""
+    finder = _SourceOnlyFinder(os.path.join(SRC, "repro"))
+    spec = finder.find_spec("repro.dram.soa")
+    assert spec is not None
+    assert isinstance(spec.loader, importlib.machinery.SourceFileLoader)
+    assert spec.origin.endswith(os.path.join("dram", "soa.py"))
+    # Unlisted modules fall through to the default machinery.
+    assert finder.find_spec("repro.dram.bank") is None
+    assert finder.find_spec("json") is None
+
+
+# ----------------------------------------------------------------------
+# Import-time forcing (the choice is per-process, so subprocesses).
+# ----------------------------------------------------------------------
+def test_env_forcing_in_subprocess():
+    probe = (
+        "import repro, warnings\n"
+        "print(repro.ACTIVE_ENGINE)\n"
+    )
+    out = _run_python(probe, REPRO_ENGINE="interpreted")
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "interpreted"
+
+    out = _run_python(probe)  # auto
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() in ("compiled", "interpreted")
+
+
+def test_env_forcing_invalid_value_is_loud():
+    out = _run_python("import repro\n", REPRO_ENGINE="turbo")
+    assert out.returncode != 0
+    assert "not a valid engine" in out.stderr
+
+
+def test_env_forcing_compiled_without_build_warns():
+    """Only meaningful when no build is installed (the dev default)."""
+    if compiled_available():
+        pytest.skip("compiled build installed; fallback path not reachable")
+    probe = (
+        "import warnings\n"
+        "with warnings.catch_warnings(record=True) as caught:\n"
+        "    warnings.simplefilter('always')\n"
+        "    import repro\n"
+        "from repro.engine import EngineFallbackWarning\n"
+        "assert repro.ACTIVE_ENGINE == 'interpreted'\n"
+        "assert any(issubclass(w.category, EngineFallbackWarning)"
+        " for w in caught), [str(w) for w in caught]\n"
+        "print('fell back')\n"
+    )
+    out = _run_python(probe, REPRO_ENGINE="compiled")
+    assert out.returncode == 0, out.stderr
+    assert "fell back" in out.stdout
+
+
+# ----------------------------------------------------------------------
+# Provenance stamp.
+# ----------------------------------------------------------------------
+def test_engine_env_schema():
+    env = engine_env()
+    assert env["engine"] == ACTIVE_ENGINE
+    assert isinstance(env["python"], str) and env["python"].count(".") == 2
+    assert env["numpy"] is None or isinstance(env["numpy"], str)
+    assert "-" in env["platform"]
+    assert isinstance(env["cpus"], int) and env["cpus"] >= 1
+    fp = env["fingerprint"]
+    assert len(fp) == 16 and int(fp, 16) >= 0
+    # Stable within a process: same inputs, same fingerprint.
+    assert engine_env()["fingerprint"] == fp
+    # JSON-serializable as-is (it lands in BENCH_throughput.json).
+    json.dumps(env)
+
+
+def test_engines_tuple_is_exhaustive():
+    assert ENGINES == ("auto", "compiled", "interpreted")
+    assert set(COMPILED_MODULES) == {
+        "repro.cache.set_assoc",
+        "repro.controller.memctrl",
+        "repro.dram.rank",
+        "repro.dram.soa",
+    }

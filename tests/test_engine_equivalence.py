@@ -12,6 +12,14 @@ pool must reproduce the serial rows bit for bit.  So does the front-end
 fast path: precompiled trace blocks and warm-state snapshot restore
 must yield results bit-identical to per-event generation plus replayed
 warmup.
+
+Both loops drive the same hot-path modules — the FR-FCFS controller
+(``repro.controller.memctrl``), the array-backed cache
+(``repro.cache.set_assoc``), the SoA timing core and the rank views —
+so these tests double as the oracle pin for those modules' fast paths
+(their ``ORACLE_TESTS`` declarations name this file).  The engine
+*build* dimension (mypyc-compiled vs interpreted sources) is pinned
+separately by the golden digests in ``tests/test_engine_identity.py``.
 """
 
 import pytest

@@ -1,0 +1,271 @@
+"""Golden-digest pinning of the compiled engine to the interpreted one.
+
+The compiled engine (mypyc builds of ``repro.dram.soa``,
+``repro.controller.memctrl``, ``repro.dram.rank`` and
+``repro.cache.set_assoc`` — see ``repro.engine.COMPILED_MODULES``)
+must be *bit-identical* to the interpreted sources: same counters, same
+energy, same protocol-checker command traces, on every scheme.  The two
+engines cannot coexist in one process (the extension modules shadow the
+``.py`` sources at the same import paths), so the pin is carried by
+golden digests:
+
+* this suite, run on the **interpreted** engine, generates and commits
+  the digests in ``tests/data/engine_digests.json``
+  (``REPRO_REGEN_DIGESTS=1`` rewrites them);
+* the CI compiled leg re-runs the same suite on the **compiled** engine
+  and must reproduce every digest byte for byte.
+
+Each digest hashes everything a run reports — the summary, raw
+controller counters (including the profiling-only ``sched_passes``,
+which pins scheduler control flow, not just end results), the power
+breakdown, per-core IPCs, the activation histogram and the LLC
+counters — plus, for the trace cases, the cycle-exact DRAM command
+stream as seen by a :class:`~repro.dram.protocol.ProtocolChecker`
+subclass.  Cold construction and warm-snapshot restore must both land
+on the same digest, so the pin covers the snapshot machinery too.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.core.schemes import ALL_SCHEMES, BASELINE, DBI_PRA, PRA, SDS
+from repro.dram.protocol import ProtocolChecker
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.snapshot import SNAPSHOTS
+from repro.sim.system import System
+from repro.workloads.mixes import workload
+
+EVENTS = 400
+WARMUP = 1500
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DIGEST_PATH = os.path.join(REPO_ROOT, "tests", "data", "engine_digests.json")
+REGEN = os.environ.get("REPRO_REGEN_DIGESTS", "") not in ("", "0")
+
+#: Workload spread for the scheme subset (beyond the all-scheme MIX2
+#: sweep): covers every MIX's access pattern on the paper's headline
+#: schemes.
+SPREAD_SCHEMES = (BASELINE, PRA, DBI_PRA)
+SPREAD_WORKLOADS = ("MIX1", "MIX2", "MIX3", "MIX4", "MIX5", "MIX6")
+
+#: Schemes whose full command trace is digest-pinned (cycle, command,
+#: rank, bank, row, mask, granularity of every DRAM command issued).
+TRACE_SCHEMES = (BASELINE, PRA, DBI_PRA, SDS)
+
+
+def _build(scheme, workload_name, seed=1, sanitize=False, **kwargs):
+    config = SystemConfig(
+        scheme=scheme,
+        sanitize=sanitize,
+        cache=CacheConfig(llc_bytes=256 * 1024),
+    )
+    return System(
+        config,
+        workload(workload_name),
+        EVENTS,
+        seed=seed,
+        warmup_events_per_core=WARMUP,
+        **kwargs,
+    )
+
+
+def _digest(result):
+    """sha256 over a canonical-JSON dump of everything a run reports."""
+    ctrl = result.controller
+    payload = {
+        "summary": result.summary(),
+        "runtime_cycles": result.runtime_cycles,
+        "ipcs": result.ipcs,
+        "reads": {
+            "served": ctrl.reads.served,
+            "row_hits": ctrl.reads.row_hits,
+            "false_hits": ctrl.reads.false_hits,
+            "activations": ctrl.reads.activations,
+            "latency_sum": ctrl.reads.latency_sum,
+            "latency_max": ctrl.reads.latency_max,
+        },
+        "writes": {
+            "served": ctrl.writes.served,
+            "row_hits": ctrl.writes.row_hits,
+            "false_hits": ctrl.writes.false_hits,
+            "activations": ctrl.writes.activations,
+            "latency_sum": ctrl.writes.latency_sum,
+            "latency_max": ctrl.writes.latency_max,
+        },
+        "refreshes": ctrl.refreshes,
+        "precharges": ctrl.precharges,
+        "drain_entries": ctrl.drain_entries,
+        "power_down_entries": ctrl.power_down_entries,
+        "false_hit_reactivations": ctrl.false_hit_reactivations,
+        "streaks": ctrl.streaks,
+        "streak_commands": ctrl.streak_commands,
+        "sched_passes": ctrl.sched_passes,
+        "power_mw": result.power.as_dict_mw(),
+        "activation_histogram": {
+            str(k): v for k, v in sorted(result.activation_histogram.items())
+        },
+        "llc": {
+            "hits": result.llc.hits,
+            "misses": result.llc.misses,
+            "evictions": result.llc.evictions,
+            "dirty_evictions": result.llc.dirty_evictions,
+            "dirty_word_hist": {
+                str(k): v for k, v in sorted(result.llc.dirty_word_hist.items())
+            },
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _load_goldens():
+    if not os.path.isfile(DIGEST_PATH):
+        return {}
+    with open(DIGEST_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _check_golden(key, digest):
+    """Compare against (or, under REPRO_REGEN_DIGESTS=1, record) golden."""
+    goldens = _load_goldens()
+    if REGEN:
+        goldens.setdefault("_note", (
+            "Golden run digests generated on the interpreted engine; the "
+            "CI compiled leg must reproduce them bit for bit.  Regenerate "
+            "with: REPRO_REGEN_DIGESTS=1 PYTHONPATH=src python -m pytest "
+            "tests/test_engine_identity.py"
+        ))
+        runs = goldens.setdefault("runs", {})
+        runs[key] = digest
+        os.makedirs(os.path.dirname(DIGEST_PATH), exist_ok=True)
+        with open(DIGEST_PATH, "w", encoding="utf-8") as handle:
+            json.dump(goldens, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return
+    runs = goldens.get("runs", {})
+    assert key in runs, (
+        f"no golden digest for {key!r}; regenerate with "
+        f"REPRO_REGEN_DIGESTS=1 (interpreted engine only)"
+    )
+    assert runs[key] == digest, (
+        f"digest mismatch for {key!r}: engine diverged from the golden "
+        f"interpreted run ({digest[:12]} != {runs[key][:12]})"
+    )
+
+
+class DigestChecker(ProtocolChecker):
+    """Protocol checker that also hashes the exact command stream.
+
+    Subclasses (rather than wraps) :class:`ProtocolChecker` because the
+    controller's ``protocol_checker`` attribute is typed — under the
+    compiled engine, mypyc enforces the annotation at runtime, so duck
+    types would be rejected.
+    """
+
+    def __init__(self, timing, relax_act_constraints=False):
+        super().__init__(timing, relax_act_constraints=relax_act_constraints)
+        self.hasher = hashlib.sha256()
+
+    def observe(self, record):
+        super().observe(record)
+        self.hasher.update(repr((
+            record.cycle, record.cmd.value, record.rank, record.bank,
+            record.row, record.mask, record.granularity, record.masked,
+            record.burst_start, record.burst_end, record.implicit,
+        )).encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Every scheme: cold == restored == golden on MIX2.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "scheme_name", sorted(ALL_SCHEMES), ids=lambda n: n
+)
+def test_all_schemes_cold_restored_golden(scheme_name):
+    scheme = ALL_SCHEMES[scheme_name]
+    SNAPSHOTS.clear()
+    cold = _build(scheme, "MIX2", use_snapshots=False).run()
+    _build(scheme, "MIX2")  # prime the snapshot cache
+    restored_system = _build(scheme, "MIX2")
+    assert restored_system.snapshot_restored
+    cold_digest = _digest(cold)
+    assert cold_digest == _digest(restored_system.run()), (
+        f"{scheme_name}: snapshot restore diverged from cold construction"
+    )
+    _check_golden(f"{scheme_name}/MIX2", cold_digest)
+
+
+# ----------------------------------------------------------------------
+# Headline schemes: every MIX workload against golden.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload_name", SPREAD_WORKLOADS)
+@pytest.mark.parametrize("scheme", SPREAD_SCHEMES, ids=lambda s: s.name)
+def test_workload_spread_golden(scheme, workload_name):
+    result = _build(scheme, workload_name).run()
+    _check_golden(f"{scheme.name}/{workload_name}", _digest(result))
+
+
+# ----------------------------------------------------------------------
+# Command-trace pinning: the engines must issue the *same commands at
+# the same cycles*, not merely converge on the same totals.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", TRACE_SCHEMES, ids=lambda s: s.name)
+def test_command_trace_golden(scheme):
+    system = _build(scheme, "MIX2")
+    checkers = []
+    for ctrl in system.controllers:
+        checker = DigestChecker(
+            system.config.timing,
+            relax_act_constraints=scheme.relax_act_constraints,
+        )
+        ctrl.protocol_checker = checker
+        checkers.append(checker)
+    system.run()
+    assert all(c.commands_checked > 0 for c in checkers)
+    trace = hashlib.sha256()
+    for checker in checkers:
+        trace.update(checker.hasher.digest())
+    _check_golden(f"trace/{scheme.name}/MIX2", trace.hexdigest())
+
+
+# ----------------------------------------------------------------------
+# Property check: cold == restored under the sanitizer on random
+# scheme/workload/seed points (no goldens; the invariant itself).
+# ----------------------------------------------------------------------
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test dep
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        scheme_name=st.sampled_from(sorted(ALL_SCHEMES)),
+        workload_name=st.sampled_from(SPREAD_WORKLOADS),
+        seed=st.integers(min_value=1, max_value=2**16),
+    )
+    def test_cold_equals_restored_sanitized(scheme_name, workload_name, seed):
+        scheme = ALL_SCHEMES[scheme_name]
+        SNAPSHOTS.clear()
+        cold = _build(
+            scheme, workload_name, seed=seed,
+            sanitize=True, use_snapshots=False,
+        ).run()
+        _build(scheme, workload_name, seed=seed, sanitize=True)
+        restored_system = _build(
+            scheme, workload_name, seed=seed, sanitize=True
+        )
+        assert restored_system.snapshot_restored
+        assert _digest(cold) == _digest(restored_system.run())
