@@ -1,0 +1,304 @@
+"""Timing-constraint coverage: every issue site must consult its gates.
+
+The JEDEC protocol the controller implements is a set of *obligations*:
+an ACT may not issue before tRC/tRRD/tFAW allow it, a column command
+needs tRCD plus the CCD/turnaround chain and a free data bus, a PRE
+needs tRAS/tWR/tRTP to have elapsed, and everything defers to the
+rank-wide gate while refresh or power-down holds the rank.  The
+simulator encodes those obligations as readiness state on
+``TimingCore`` (``act_ready``, ``next_act_ok``, ``col_ready``, …) that
+the hot path checks before committing a command.
+
+Nothing used to force a *new* issue site to perform those checks: a
+scheme hooking the timing machinery (the PRA-relaxed tRRD/tFAW path,
+or a ROADMAP item 3 successor like sectored activation) could commit
+an ACT without ever reading ``next_act_ok`` and no test would fail
+until a workload happened to collide two activates.  This pass closes
+that hole declaratively:
+
+* :data:`CONSTRAINT_TABLE` maps each command class to the JEDEC
+  parameters it must respect and the timing-state names whose
+  consultation discharges each parameter.
+* Issue sites are recognized *syntactically* (committing an open row,
+  advancing the CCD chain, calling ``do_refresh`` /
+  ``enter_power_down`` / ``exit_power_down``) in the modules named by
+  ``registry.TIMING_SCOPE``.
+* A site is covered when the function it lives in — or, because
+  helpers like ``ChannelController._try_column`` commit
+  unconditionally for callers that already screened, any transitive
+  same-module *caller* of that function — reads every mandated state
+  name (substring match, so the hot path's unpacked ``next_act_ok_a``
+  locals count).
+
+Administrative writes (slice-clears in ``reset``-style functions,
+constructors, snapshot restores) are exempt by function-name pattern;
+anything else that issues without consulting is a
+``timing-unchecked-issue`` finding naming the missed parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flow import iter_functions
+
+
+class Constraint:
+    """One command class: JEDEC obligations -> consultable state names."""
+
+    __slots__ = ("command", "checks")
+
+    def __init__(
+        self, command: str, checks: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    ) -> None:
+        self.command = command
+        #: ((jedec-params label, state names — reading ANY discharges), ...)
+        self.checks = checks
+
+
+#: The declarative table.  Each entry reads: "before committing
+#: <command>, the issuing code must have consulted state matching one
+#: name from every group".  Groups are alternatives because the hot
+#: path reads unpacked aliases (``next_act_ok_a``) and helpers read
+#: the attribute form (``core.next_act_ok``) — substring matching on
+#: either name covers both spellings.
+CONSTRAINT_TABLE: Tuple[Constraint, ...] = (
+    Constraint("ACT", (
+        ("tRC/tRP (bank cycle: act_ready)", ("act_ready",)),
+        ("tRRD (rank act-to-act: next_act_ok)", ("next_act_ok",)),
+        ("tFAW (four-activate window: faw)", ("faw",)),
+        ("tRFC/PD (rank gate)", ("gate",)),
+    )),
+    Constraint("COLUMN", (
+        ("tRCD (act-to-column: col_ready)", ("col_ready",)),
+        ("tCCD (column-to-column: next_col_ok)", ("next_col_ok",)),
+        ("tWTR/tRTW (bus turnaround: next_read_ok/next_write_ok)",
+         ("next_read_ok", "next_write_ok")),
+        ("tRFC/PD (rank gate)", ("gate",)),
+        ("data-bus occupancy", ("data_bus",)),
+    )),
+    Constraint("PRE", (
+        ("tRAS/tWR/tRTP (precharge readiness: pre_ready)", ("pre_ready",)),
+    )),
+    Constraint("REF", (
+        ("tREFI (refresh due: next_refresh)", ("next_refresh",)),
+        ("tRFC/PD (rank gate)", ("gate",)),
+    )),
+    Constraint("PD", (
+        ("power-down state machine (pd)", ("pd",)),
+    )),
+)
+
+_BY_COMMAND: Dict[str, Constraint] = {c.command: c for c in CONSTRAINT_TABLE}
+
+#: Functions whose writes are administrative, not command issue.
+_ADMIN_FN_RE = re.compile(
+    r"(^__init__$|^_?reset|^_?restore|^_?clear|^_?export|^_?snapshot"
+    r"|^_?decay|^_?apply_snapshot|^lane$|^_build)"
+)
+
+#: Marker that opts a non-scope file (a fixture) into this pass.
+_OPT_IN_RE = re.compile(r"#\s*reprolint:\s*timing\b")
+
+
+class IssueSite:
+    """One syntactic command-issue site inside a function."""
+
+    __slots__ = ("command", "line", "detail")
+
+    def __init__(self, command: str, line: int, detail: str) -> None:
+        self.command = command
+        self.line = line
+        self.detail = detail
+
+
+def _subscript_identifier(node: ast.expr) -> str:
+    """The row/attribute identifier a subscript store targets."""
+    base = node
+    while isinstance(base, ast.Subscript):
+        base = base.value
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    if isinstance(base, ast.Name):
+        return base.id
+    return ""
+
+
+def _is_minus_one(node: Optional[ast.expr]) -> bool:
+    if isinstance(node, ast.Constant):
+        return node.value == -1
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and node.operand.value == 1
+    )
+
+
+def _has_slice(node: ast.expr) -> bool:
+    return isinstance(node, ast.Subscript) and isinstance(
+        node.slice, ast.Slice
+    )
+
+
+def issue_sites(fn: ast.AST) -> List[IssueSite]:
+    """All command-issue sites syntactically inside one function."""
+    sites: List[IssueSite] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                if _has_slice(target):
+                    continue  # slice stores are administrative resets
+                ident = _subscript_identifier(target)
+                if "open_row" in ident:
+                    if _is_minus_one(node.value):
+                        sites.append(IssueSite(
+                            "PRE", node.lineno,
+                            "closes an open row (open_row <- -1)",
+                        ))
+                    else:
+                        sites.append(IssueSite(
+                            "ACT", node.lineno,
+                            "commits an open row (open_row <- row)",
+                        ))
+                elif "next_col_ok" in ident:
+                    sites.append(IssueSite(
+                        "COLUMN", node.lineno,
+                        "advances the CCD chain (next_col_ok <- t)",
+                    ))
+        elif isinstance(node, ast.Call):
+            callee = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id if isinstance(node.func, ast.Name) else ""
+            )
+            if callee == "do_refresh":
+                sites.append(IssueSite(
+                    "REF", node.lineno, "issues a refresh (do_refresh)",
+                ))
+            elif callee in ("enter_power_down", "exit_power_down"):
+                sites.append(IssueSite(
+                    "PD", node.lineno, f"switches power state ({callee})",
+                ))
+    return sites
+
+
+def consulted_names(fn: ast.AST) -> Set[str]:
+    """Every identifier the function reads (Load context), for
+    substring matching against mandated state names.  Attribute reads
+    contribute their attribute name; plain names their id — so both
+    ``core.next_act_ok`` and the hot path's unpacked ``next_act_ok_a``
+    register as consulting ``next_act_ok``."""
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.ctx, ast.Load
+        ):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            names.add(node.id)
+    return names
+
+
+def _called_functions(fn: ast.AST) -> Set[str]:
+    """Bare/attribute callee names invoked inside ``fn``."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                out.add(node.func.attr)
+            elif isinstance(node.func, ast.Name):
+                out.add(node.func.id)
+    return out
+
+
+def _covers(consulted: Iterable[str], group: Tuple[str, ...]) -> bool:
+    pool = list(consulted)
+    return any(
+        any(state in name for name in pool) for state in group
+    )
+
+
+def check_module(tree: ast.Module, path: str) -> List[Tuple[int, str]]:
+    """``timing-unchecked-issue`` findings for one in-scope module.
+
+    Coverage is the union of the issuing function's own reads and the
+    reads of every transitive same-module caller: helpers that commit
+    unconditionally (``_try_column``) inherit the screening their
+    callers performed (``step`` checks ``col_ready``/``next_col_ok``/
+    the bus before dispatching).  A helper reachable from *no* caller
+    stands on its own reads.
+    """
+    functions: List[Tuple[str, ast.AST]] = list(iter_functions(tree))
+    simple_names = {qual.rsplit(".", 1)[-1]: qual for qual, _ in functions}
+    reads: Dict[str, Set[str]] = {}
+    calls: Dict[str, Set[str]] = {}
+    for qual, fn in functions:
+        reads[qual] = consulted_names(fn)
+        # Map callee simple names back to in-module qualnames.
+        calls[qual] = {
+            simple_names[callee]
+            for callee in _called_functions(fn)
+            if callee in simple_names
+        }
+
+    # Transitive same-module callers of each function.
+    callers: Dict[str, Set[str]] = {qual: set() for qual, _ in functions}
+    for qual, callees in calls.items():
+        for callee in callees:
+            if callee != qual:
+                callers[callee].add(qual)
+    closed: Dict[str, Set[str]] = {}
+    for qual in callers:
+        seen: Set[str] = set()
+        work = list(callers[qual])
+        while work:
+            caller = work.pop()
+            if caller in seen:
+                continue
+            seen.add(caller)
+            work.extend(callers.get(caller, ()))
+        closed[qual] = seen
+
+    findings: List[Tuple[int, str]] = []
+    for qual, fn in functions:
+        simple = qual.rsplit(".", 1)[-1]
+        if _ADMIN_FN_RE.search(simple):
+            continue
+        sites = issue_sites(fn)
+        if not sites:
+            continue
+        coverage: Set[str] = set(reads[qual])
+        for caller in closed[qual]:
+            coverage |= reads[caller]
+        for site in sites:
+            constraint = _BY_COMMAND[site.command]
+            missed = [
+                label
+                for label, group in constraint.checks
+                if not _covers(coverage, group)
+            ]
+            if missed:
+                findings.append((
+                    site.line,
+                    f"{qual} {site.detail} without consulting "
+                    f"{'; '.join(missed)} — {site.command} issue sites "
+                    f"must read the mandated timing state (or a caller "
+                    f"in this module must) before committing",
+                ))
+    return findings
+
+
+def applies_to(path: str, source: str) -> bool:
+    """Is this file in the timing-coverage scope?
+
+    Registry scope (controller/ plus the two timing-core modules) or
+    an explicit ``# reprolint: timing`` opt-in marker (fixtures).
+    """
+    from repro.analysis.registry import is_timing_scope
+
+    return is_timing_scope(path) or bool(_OPT_IN_RE.search(source))

@@ -1,0 +1,377 @@
+"""Lightweight intraprocedural dataflow layer for the reprolint passes.
+
+reprolint v1 rules are per-statement pattern matches; the v2 passes
+(:mod:`repro.analysis.cowcheck`, :mod:`repro.analysis.constraints`)
+need two whole-function facts a single AST walk cannot answer:
+
+* **dominance** — "is every path to this mutation site guarded by a
+  privatization anchor?" (the copy-on-write pass), and
+* **forward may-state** — "which names *may* hold a shared value at
+  this statement?" (alias propagation with branch joins).
+
+This module provides exactly that, sized for the repo's functions: a
+statement-level control-flow graph per function
+(:func:`build_cfg`), classic iterative dominator computation
+(:meth:`CFG.dominators`), and a generic union-join forward fixpoint
+(:func:`solve_forward`) whose lattice and transfer function the client
+pass supplies.  No symbolic execution, no interprocedural state — the
+passes layer their own registries and one-level caller unions on top.
+
+Graph shape conventions:
+
+* Every compound statement (``if``/``for``/``while``/``try``/``match``)
+  is a *header* living in the block where control reaches it; its
+  branch bodies get their own blocks with edges from the header.  The
+  header therefore **dominates** every statement of every branch and
+  the join point — which is what lets the COW pass treat a guarding
+  ``if`` as a privatization anchor for everything after it.
+* Loop bodies edge back to their header; ``break``/``continue`` edge
+  to the loop exit/header; ``return``/``raise`` edge to the function
+  exit block.
+* ``try`` is conservative: the handlers are reachable from the header
+  directly (an exception may fire before any body statement completes)
+  and from the body's end.
+* Nested ``def``/``class`` statements are opaque simple statements —
+  analyses run per function, never across function boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Statement types whose nested bodies are *not* part of this
+#: function's control flow.
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class Block:
+    """One basic block: a run of statements plus its CFG edges."""
+
+    __slots__ = ("id", "stmts", "succs", "preds")
+
+    def __init__(self, block_id: int) -> None:
+        self.id = block_id
+        self.stmts: List[ast.stmt] = []
+        self.succs: List[int] = []
+        self.preds: List[int] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"Block({self.id}, stmts={len(self.stmts)}, "
+            f"succs={self.succs})"
+        )
+
+
+class CFG:
+    """Control-flow graph of one function body (statement granularity)."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        #: id(stmt) -> (block id, index inside the block).
+        self._stmt_pos: Dict[int, Tuple[int, int]] = {}
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        self._dom: Optional[Dict[int, Set[int]]] = None
+
+    # -- construction ---------------------------------------------------
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: Block, dst: Block) -> None:
+        if dst.id not in src.succs:
+            src.succs.append(dst.id)
+            dst.preds.append(src.id)
+
+    def place(self, block: Block, stmt: ast.stmt) -> None:
+        """Append ``stmt`` to ``block`` and index its position."""
+        self._stmt_pos[id(stmt)] = (block.id, len(block.stmts))
+        block.stmts.append(stmt)
+
+    def position(self, stmt: ast.stmt) -> Optional[Tuple[int, int]]:
+        """(block id, index) of a placed statement, or None."""
+        return self._stmt_pos.get(id(stmt))
+
+    # -- dominance ------------------------------------------------------
+    def reachable(self) -> Set[int]:
+        """Block ids reachable from the entry block."""
+        seen = {self.entry.id}
+        work = [self.entry.id]
+        while work:
+            for succ in self.blocks[work.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """Block id -> set of block ids dominating it (reflexive).
+
+        Classic iterative dataflow: ``dom(entry) = {entry}``, every
+        other reachable block starts at "all blocks" and intersects its
+        predecessors' sets to a fixpoint.  Unreachable blocks keep the
+        full set (vacuously dominated), which makes dead-code mutation
+        sites anchor-trivially — they cannot execute.
+        """
+        if self._dom is not None:
+            return self._dom
+        reach = self.reachable()
+        everything = {block.id for block in self.blocks}
+        dom: Dict[int, Set[int]] = {
+            block.id: set(everything) for block in self.blocks
+        }
+        dom[self.entry.id] = {self.entry.id}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                if block.id == self.entry.id or block.id not in reach:
+                    continue
+                pred_doms = [
+                    dom[p] for p in block.preds if p in reach
+                ]
+                new = set.intersection(*pred_doms) if pred_doms else set()
+                new.add(block.id)
+                if new != dom[block.id]:
+                    dom[block.id] = new
+                    changed = True
+        self._dom = dom
+        return dom
+
+    def stmt_dominates(self, anchor: ast.stmt, target: ast.stmt) -> bool:
+        """True when ``anchor`` executes on *every* path to ``target``.
+
+        Same block: the anchor must come strictly earlier.  Different
+        blocks: the anchor's block must be in the target block's
+        dominator set (the whole anchor block runs before the target).
+        """
+        pos_a = self.position(anchor)
+        pos_t = self.position(target)
+        if pos_a is None or pos_t is None:
+            return False
+        block_a, idx_a = pos_a
+        block_t, idx_t = pos_t
+        if block_a == block_t:
+            return idx_a < idx_t
+        return block_a in self.dominators()[block_t]
+
+
+class _Builder:
+    """Recursive CFG construction over a statement list."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        #: Innermost-first stack of (loop header, loop exit) blocks.
+        self.loops: List[Tuple[Block, Block]] = []
+
+    def build(self, stmts: Sequence[ast.stmt], current: Block) -> Block:
+        """Wire ``stmts`` starting at ``current``; return the fall-
+        through block (possibly unreachable after a terminator)."""
+        cfg = self.cfg
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                cfg.place(current, stmt)
+                join = cfg.new_block()
+                then_entry = cfg.new_block()
+                cfg.add_edge(current, then_entry)
+                then_end = self.build(stmt.body, then_entry)
+                cfg.add_edge(then_end, join)
+                if stmt.orelse:
+                    else_entry = cfg.new_block()
+                    cfg.add_edge(current, else_entry)
+                    else_end = self.build(stmt.orelse, else_entry)
+                    cfg.add_edge(else_end, join)
+                else:
+                    cfg.add_edge(current, join)
+                current = join
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                header = cfg.new_block()
+                cfg.add_edge(current, header)
+                cfg.place(header, stmt)
+                exit_block = cfg.new_block()
+                body_entry = cfg.new_block()
+                cfg.add_edge(header, body_entry)
+                self.loops.append((header, exit_block))
+                body_end = self.build(stmt.body, body_entry)
+                self.loops.pop()
+                cfg.add_edge(body_end, header)
+                if stmt.orelse:
+                    else_entry = cfg.new_block()
+                    cfg.add_edge(header, else_entry)
+                    else_end = self.build(stmt.orelse, else_entry)
+                    cfg.add_edge(else_end, exit_block)
+                else:
+                    cfg.add_edge(header, exit_block)
+                current = exit_block
+            elif isinstance(stmt, ast.Try):
+                cfg.place(current, stmt)
+                join = cfg.new_block()
+                body_entry = cfg.new_block()
+                cfg.add_edge(current, body_entry)
+                body_end = self.build(stmt.body, body_entry)
+                if stmt.orelse:
+                    else_entry = cfg.new_block()
+                    cfg.add_edge(body_end, else_entry)
+                    body_end = self.build(stmt.orelse, else_entry)
+                cfg.add_edge(body_end, join)
+                for handler in stmt.handlers:
+                    handler_entry = cfg.new_block()
+                    # An exception may fire before any body statement
+                    # completes — and after the last one.
+                    cfg.add_edge(current, handler_entry)
+                    cfg.add_edge(body_end, handler_entry)
+                    handler_end = self.build(handler.body, handler_entry)
+                    cfg.add_edge(handler_end, join)
+                if stmt.finalbody:
+                    final_entry = cfg.new_block()
+                    cfg.add_edge(join, final_entry)
+                    join = self.build(stmt.finalbody, final_entry)
+                current = join
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                cfg.place(current, stmt)
+                current = self.build(stmt.body, current)
+            elif isinstance(stmt, ast.Match):
+                cfg.place(current, stmt)
+                join = cfg.new_block()
+                for case in stmt.cases:
+                    case_entry = cfg.new_block()
+                    cfg.add_edge(current, case_entry)
+                    case_end = self.build(case.body, case_entry)
+                    cfg.add_edge(case_end, join)
+                cfg.add_edge(current, join)  # no case may match
+                current = join
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                cfg.place(current, stmt)
+                cfg.add_edge(current, cfg.exit)
+                current = cfg.new_block()
+            elif isinstance(stmt, ast.Break):
+                cfg.place(current, stmt)
+                if self.loops:
+                    cfg.add_edge(current, self.loops[-1][1])
+                current = cfg.new_block()
+            elif isinstance(stmt, ast.Continue):
+                cfg.place(current, stmt)
+                if self.loops:
+                    cfg.add_edge(current, self.loops[-1][0])
+                current = cfg.new_block()
+            else:
+                # Simple statements — and opaque nested defs/classes.
+                cfg.place(current, stmt)
+        return current
+
+
+def build_cfg(stmts: Sequence[ast.stmt]) -> CFG:
+    """CFG of a statement list (typically a function body)."""
+    cfg = CFG()
+    end = _Builder(cfg).build(stmts, cfg.entry)
+    cfg.add_edge(end, cfg.exit)
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# Generic forward may-analysis.
+# ----------------------------------------------------------------------
+
+#: A dataflow state: name -> client-defined lattice value (ints ordered
+#: by ``max`` in the shipped passes, but any comparable value works
+#: with a custom join).
+State = Dict[str, int]
+
+Transfer = Callable[[ast.stmt, State], State]
+
+
+def join_max(states: Sequence[State]) -> State:
+    """Union-join: per-name maximum across predecessor states."""
+    out: State = {}
+    for state in states:
+        for name, value in state.items():
+            if value > out.get(name, 0):
+                out[name] = value
+    return out
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Transfer,
+    initial: Optional[State] = None,
+    join: Callable[[Sequence[State]], State] = join_max,
+) -> Dict[int, State]:
+    """Forward fixpoint; returns the state *before* each statement.
+
+    ``transfer(stmt, state)`` must return the post-state of one
+    statement without mutating its input.  The join is union-style
+    (may-analysis): a name shared on *any* incoming path stays shared.
+    Result keys are ``id(stmt)`` for every placed statement.
+    """
+    entry_state: State = dict(initial) if initial else {}
+    block_in: Dict[int, State] = {cfg.entry.id: entry_state}
+    reach = cfg.reachable()
+    # Worklist over reachable blocks until the in-states stabilize.
+    work = [cfg.entry.id]
+    block_out: Dict[int, State] = {}
+    while work:
+        block_id = work.pop(0)
+        block = cfg.blocks[block_id]
+        state = dict(block_in.get(block_id, {}))
+        for stmt in block.stmts:
+            state = transfer(stmt, state)
+        if block_out.get(block_id) == state:
+            continue
+        block_out[block_id] = state
+        for succ in block.succs:
+            if succ not in reach:
+                continue
+            preds = [
+                block_out[p]
+                for p in cfg.blocks[succ].preds
+                if p in block_out
+            ]
+            if succ == cfg.entry.id:
+                preds.append(entry_state)
+            merged = join(preds) if preds else {}
+            if merged != block_in.get(succ):
+                block_in[succ] = merged
+                if succ not in work:
+                    work.append(succ)
+    # Recording pass: per-statement pre-states from the fixpoint.
+    before: Dict[int, State] = {}
+    for block in cfg.blocks:
+        state = dict(block_in.get(block.id, {}))
+        for stmt in block.stmts:
+            before[id(stmt)] = dict(state)
+            state = transfer(stmt, state)
+    return before
+
+
+# ----------------------------------------------------------------------
+# Function discovery.
+# ----------------------------------------------------------------------
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Yield ``(qualname, node)`` for every function in a module.
+
+    Methods are qualified ``Class.method``; nested functions
+    ``outer.<locals>.inner``.  Async functions are included (the repo
+    has none on analyzed paths, but fixtures may)."""
+    def walk(
+        body: Sequence[ast.stmt], prefix: str
+    ) -> Iterator[Tuple[str, ast.FunctionDef]]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                yield qual, node  # type: ignore[misc]
+                yield from walk(node.body, f"{qual}.<locals>.")
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(node.body, f"{prefix}{node.name}.")
+            elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For,
+                                   ast.While)):
+                # Conditionally-defined functions still get analyzed.
+                for field in ("body", "orelse", "finalbody"):
+                    yield from walk(getattr(node, field, []) or [], prefix)
+                for handler in getattr(node, "handlers", []):
+                    yield from walk(handler.body, prefix)
+    yield from walk(tree.body, "")

@@ -57,8 +57,28 @@ mypyc can compile:
   build; catching them at lint time keeps compile-list drift from
   failing only in the CI build leg.
 
+**Dataflow passes (v2)** — whole-function/whole-repo analyses built
+on :mod:`repro.analysis.flow` (see DESIGN.md §8):
+
+* ``twin-drift`` — a declared oracle-twin pair (scalar loop ↔
+  ``_Lane.advance``, ``issue_screen`` ↔ ``_screened_wake``,
+  ``TimingCore`` slots ↔ slab columns, compiled-module APIs) changed
+  without its committed fingerprint being regenerated
+  (:mod:`repro.analysis.twins`), or an in-file ``REPRO_TWIN_PAIRS``
+  pair diverged structurally.
+* ``cow-unsafe-mutation`` — in-place mutation of a possibly-shared
+  copy-on-write value not dominated by the declared privatization
+  (:mod:`repro.analysis.cowcheck`); intentional sharing is declared
+  with ``# reprolint: shares[reason]``.
+* ``timing-unchecked-issue`` — a DRAM command-issue site whose
+  function (and same-module callers) never consult the timing state
+  the JEDEC constraint table mandates
+  (:mod:`repro.analysis.constraints`).
+
 Suppression: ``# reprolint: allow[rule-id]`` on the flagged line;
-``# reprolint: skip-file`` anywhere disables the whole file.
+``# reprolint: skip-file`` anywhere disables the whole file;
+``# reprolint: shares[reason]`` (reason required) declares an
+intentional shared-mutation site to the COW pass.
 """
 
 from __future__ import annotations
@@ -105,6 +125,13 @@ ALL_RULES: Tuple[Rule, ...] = (
          "mutable default argument"),
     Rule("compiled-incompatible", "compiled-engine",
          "mypyc-incompatible construct in a compiled-engine module"),
+    Rule("twin-drift", "twin-parity",
+         "oracle-twin pair edited without regenerating its fingerprint"),
+    Rule("cow-unsafe-mutation", "cow-aliasing",
+         "in-place mutation of a possibly-shared COW value without "
+         "dominating privatization"),
+    Rule("timing-unchecked-issue", "timing-coverage",
+         "DRAM command issued without consulting the mandated timing state"),
 )
 
 RULE_IDS = frozenset(rule.id for rule in ALL_RULES)
@@ -125,6 +152,10 @@ class Finding:
 
 _ALLOW_RE = re.compile(r"#\s*reprolint:\s*allow\[([a-z0-9\-,\s]+)\]")
 _SKIP_FILE_RE = re.compile(r"#\s*reprolint:\s*skip-file")
+#: Intentional-sharing pragma for the COW pass; the reason is
+#: mandatory — ``shares[]`` does not parse and therefore suppresses
+#: nothing.
+_SHARES_RE = re.compile(r"#\s*reprolint:\s*shares\[([^\]]+)\]")
 
 #: ``time`` module functions that read the wall clock / host state.
 _WALL_TIME_FNS = frozenset(
@@ -159,6 +190,16 @@ def _allowed_lines(source: str) -> Dict[int, Set[str]]:
             ids = {part.strip() for part in match.group(1).split(",")}
             allowed[lineno] = ids
     return allowed
+
+
+def _shares_lines(source: str) -> Set[int]:
+    """Line numbers carrying a non-empty ``shares[reason]`` pragma."""
+    shares: Set[int] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SHARES_RE.search(line)
+        if match and match.group(1).strip():
+            shares.add(lineno)
+    return shares
 
 
 def _call_name(node: ast.AST) -> Optional[str]:
@@ -696,14 +737,47 @@ def check_file(
     )
     checker.visit(tree)
     _check_oracle_parity(checker, path, repo_root)
+    _run_dataflow_passes(checker, tree, path, source)
 
     allowed = _allowed_lines(source)
+    shares = _shares_lines(source)
     findings = [
         finding
         for finding in checker.findings
         if finding.rule not in allowed.get(finding.line, ())
+        and not (
+            finding.rule == "cow-unsafe-mutation" and finding.line in shares
+        )
     ]
     if select:
         wanted = set(select)
         findings = [f for f in findings if f.rule in wanted]
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def _run_dataflow_passes(
+    checker: _ModuleChecker, tree: ast.Module, path: str, source: str
+) -> None:
+    """Apply the v2 dataflow passes (COW, timing, in-file twins).
+
+    The repo-wide twin *fingerprint* check lives in
+    :func:`repro.analysis.lint.lint_paths` — it is a property of the
+    tree, not of any one file.
+    """
+    from repro.analysis import constraints, cowcheck, twins
+
+    for line, message in cowcheck.check_module(
+        tree, path, must_declare=registry.is_cow_module(path)
+    ):
+        checker.findings.append(
+            Finding(path, line, "cow-unsafe-mutation", message)
+        )
+    if constraints.applies_to(path, source):
+        for line, message in constraints.check_module(tree, path):
+            checker.findings.append(
+                Finding(path, line, "timing-unchecked-issue", message)
+            )
+    for fpath, line, message in twins.check_in_file(tree, path):
+        checker.findings.append(
+            Finding(fpath, line, "twin-drift", message)
+        )

@@ -22,6 +22,16 @@ RowOf = Callable[[int], Hashable]
 #: two representations are observationally identical.
 RowLines = Union[Set[int], Tuple[int, ...]]
 
+# COW contract for the aliasing pass (repro.analysis.cowcheck): after
+# restore_rows(cow=True) the per-row values are the snapshot's shared
+# tuples; writers must thaw a row to a private set (lines = set(lines))
+# before mutating it in place.
+REPRO_COW_PROTOCOL = {
+    "shared_roots": ("_rows",),
+    "shared_calls": (),
+    "privatizers": (),
+}
+
 
 class DirtyBlockIndex:
     """Row-organized registry of dirty line addresses.

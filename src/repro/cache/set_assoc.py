@@ -41,6 +41,15 @@ ORACLE_TESTS = (
     "tests/test_engine_identity.py",
     "tests/test_engine_equivalence.py",
 )
+# COW contract for the aliasing pass (repro.analysis.cowcheck): after a
+# cow restore, per-set tag dicts and free lists are shared with the
+# snapshot until _own_set privatizes them; every in-place mutation of a
+# set's containers must be dominated by an _own_set guard.
+REPRO_COW_PROTOCOL = {
+    "shared_roots": ("_tags", "_free"),
+    "shared_calls": (),
+    "privatizers": ("_own_set",),
+}
 
 
 class CacheStats:

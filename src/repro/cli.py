@@ -16,6 +16,10 @@ Commands
 ``bench``
     Drive a whole figure suite (scheme x workload grid) through one
     persistent pool and print points/sec plus normalized summaries.
+``lint``
+    Run the full static layer — reprolint (including the v2 dataflow
+    passes) plus the strict typing gate — with ``--format json`` /
+    ``--format github`` outputs for CI.
 
 Examples::
 
@@ -25,6 +29,7 @@ Examples::
     python -m repro sweep --schemes Baseline PRA --workloads GUPS MIX1 \
         --pool 4 --out grid.csv
     python -m repro bench --suite fig12 --pool 4
+    python -m repro lint --format github
 """
 
 from __future__ import annotations
@@ -168,6 +173,26 @@ def build_parser() -> argparse.ArgumentParser:
                          "default: min(2, available CPUs))")
     bench_p.add_argument("--sanitize", action="store_true",
                          help="enable the runtime sanitizer")
+
+    lint_p = sub.add_parser(
+        "lint", help="run reprolint + the strict typing gate"
+    )
+    lint_p.add_argument("paths", nargs="*", default=[],
+                        help="files or trees to lint (default: src/ tests/)")
+    lint_p.add_argument("--select", nargs="+", metavar="RULE",
+                        help="only report these reprolint rule ids")
+    lint_p.add_argument("--format", choices=("text", "json", "github"),
+                        default="text", dest="fmt",
+                        help="finding output format: human text, a JSON "
+                        "report document, or GitHub workflow annotations")
+    lint_p.add_argument("--json-out", metavar="PATH", default=None,
+                        help="additionally write the JSON report to PATH "
+                        "(CI artifact), independent of --format")
+    lint_p.add_argument("--no-typegate", action="store_true",
+                        help="skip the mypy+ruff gate (reprolint only)")
+    lint_p.add_argument("--lax-types", action="store_true",
+                        help="missing mypy/ruff skip instead of failing "
+                        "(default is the CI-strict behaviour)")
     return parser
 
 
@@ -456,6 +481,97 @@ def _print_batch_attribution(stats: "object") -> None:
     print(f"  {'everything else':<26}{other:8.3f} s  ({100 * other / grand:5.1f}%)")
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint (v1 rules + v2 dataflow passes) and the typegate.
+
+    Exit status is the worst of the two layers: 1 when any finding
+    fired or the typing gate failed, 0 when both are clean.  The JSON
+    report (``--format json`` to stdout, ``--json-out`` to a file) is
+    a stable document CI archives per run::
+
+        {"version": 1, "paths": [...], "findings": [...],
+         "counts": {"<rule-id>": n, ...}, "typegate": 0|1|null}
+    """
+    import json as _json
+
+    from repro.analysis import typegate
+    from repro.analysis.lint import lint_paths
+    from repro.analysis.rules import RULE_IDS, find_repo_root
+
+    if args.select:
+        unknown = set(args.select) - RULE_IDS
+        if unknown:
+            raise ValueError(f"unknown reprolint rule(s): {sorted(unknown)}")
+    repo_root = find_repo_root(os.getcwd())
+    paths = args.paths or [
+        os.path.join(repo_root, "src"), os.path.join(repo_root, "tests")
+    ]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        raise ValueError(
+            f"no such path(s): {missing} — run from inside the repo or "
+            f"pass explicit files/trees to lint"
+        )
+    findings = lint_paths(paths, select=args.select, repo_root=repo_root)
+
+    def rel(path: str) -> str:
+        return os.path.relpath(os.path.abspath(path), repo_root).replace(
+            "\\", "/"
+        )
+
+    if args.fmt == "text":
+        for finding in findings:
+            print(finding.render())
+    elif args.fmt == "github":
+        # Workflow-command annotations: GitHub attaches these to the
+        # offending file/line in the PR diff view.
+        for finding in findings:
+            message = finding.message.replace("\n", " ")
+            print(
+                f"::error file={rel(finding.path)},line={finding.line},"
+                f"title=reprolint {finding.rule}::{message}"
+            )
+
+    typegate_code: Optional[int] = None
+    if not args.no_typegate:
+        typegate_argv = [] if args.lax_types else ["--strict"]
+        typegate_code = typegate.main(typegate_argv)
+
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    report = {
+        "version": 1,
+        "paths": [rel(p) for p in paths],
+        "findings": [
+            {"path": rel(f.path), "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in findings
+        ],
+        "counts": counts,
+        "typegate": typegate_code,
+    }
+    if args.fmt == "json":
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    noun = "finding" if len(findings) == 1 else "findings"
+    gate = (
+        "skipped" if typegate_code is None
+        else "ok" if typegate_code == 0 else "FAILED"
+    )
+    print(
+        f"repro lint: {len(findings)} {noun}, typegate {gate}",
+        file=sys.stderr,
+    )
+    if findings or (typegate_code or 0) != 0:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -464,6 +580,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "bench": cmd_bench,
+        "lint": cmd_lint,
     }
     try:
         if args.command == "list":

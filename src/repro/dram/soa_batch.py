@@ -123,6 +123,22 @@ REPRO_FAST_PATH = True
 ORACLE_TWIN = "repro.dram.soa"
 ORACLE_TESTS = ("tests/test_batch.py",)
 
+# COW contract for the aliasing pass (repro.analysis.cowcheck): every
+# slab matrix row is aliased by the TimingCore views lane() hands out,
+# so any in-place write through a row is visible to a live lane.  The
+# administrative ops below that mutate rows on purpose (reset_lane,
+# decay_timers) carry explicit shares[...] pragmas.
+REPRO_COW_PROTOCOL = {
+    "shared_roots": (
+        "open_row", "open_mask", "act_ready", "col_ready", "pre_ready",
+        "last_act", "accesses", "autopre", "reserved", "next_act_ok",
+        "next_col_ok", "next_read_ok", "next_write_ok", "gate",
+        "open_bits", "pd", "next_refresh",
+    ),
+    "shared_calls": ("lane",),
+    "privatizers": (),
+}
+
 
 class BatchTimingCore:
     """Lane-major DRAM timing state: one slab for N lanes of a channel.
@@ -261,15 +277,15 @@ class BatchTimingCore:
         lane views and any bound controller locals alias.
         """
         n = self.num_ranks * self.num_banks
-        self.open_row[lane][:] = [-1] * n
-        self.open_mask[lane][:] = [FULL_MASK] * n
-        self.act_ready[lane][:] = [0] * n
-        self.col_ready[lane][:] = [0] * n
-        self.pre_ready[lane][:] = [0] * n
-        self.last_act[lane][:] = [-1] * n
-        self.accesses[lane][:] = [0] * n
-        self.autopre[lane][:] = [False] * n
-        self.reserved[lane][:] = [None] * n
+        self.open_row[lane][:] = [-1] * n  # reprolint: shares[resetting through the shared row is the point: lane views must see the fresh state]
+        self.open_mask[lane][:] = [FULL_MASK] * n  # reprolint: shares[in-place reset aliased by lane views]
+        self.act_ready[lane][:] = [0] * n  # reprolint: shares[in-place reset aliased by lane views]
+        self.col_ready[lane][:] = [0] * n  # reprolint: shares[in-place reset aliased by lane views]
+        self.pre_ready[lane][:] = [0] * n  # reprolint: shares[in-place reset aliased by lane views]
+        self.last_act[lane][:] = [-1] * n  # reprolint: shares[in-place reset aliased by lane views]
+        self.accesses[lane][:] = [0] * n  # reprolint: shares[in-place reset aliased by lane views]
+        self.autopre[lane][:] = [False] * n  # reprolint: shares[in-place reset aliased by lane views]
+        self.reserved[lane][:] = [None] * n  # reprolint: shares[in-place reset aliased by lane views]
         for field in (
             self.next_act_ok,
             self.next_col_ok,
@@ -280,7 +296,7 @@ class BatchTimingCore:
             self.pd,
             self.next_refresh,
         ):
-            field[lane][:] = [0] * self.num_ranks
+            field[lane][:] = [0] * self.num_ranks  # reprolint: shares[in-place reset aliased by lane views]
 
 
 # ----------------------------------------------------------------------
@@ -406,14 +422,14 @@ def decay_timers(
             )
             clamped = _numpy.maximum(rows, cycle).tolist()
             for s, row in zip(slots, clamped):
-                matrix[s][:] = row
+                matrix[s][:] = row  # reprolint: shares[clamping timers in place is behavior-preserving and must reach live lane views]
         return
     for matrix in columns:
         for s in slots:
             row = matrix[s]
             for i, v in enumerate(row):
                 if v < cycle:
-                    row[i] = cycle
+                    row[i] = cycle  # reprolint: shares[clamping timers in place is behavior-preserving and must reach live lane views]
 
 
 def next_wake_min(

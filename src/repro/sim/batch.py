@@ -90,6 +90,16 @@ REPRO_FAST_PATH = True
 ORACLE_TWIN = "repro.sim.system.System.run"
 ORACLE_TESTS = ("tests/test_batch.py",)
 
+# COW contract for the aliasing pass (repro.analysis.cowcheck): the
+# TimingCore views slab.lane() returns alias slab rows — this module
+# may read through them freely but must never mutate one in place
+# (mutation belongs to the controller that owns the lane's channel).
+REPRO_COW_PROTOCOL = {
+    "shared_roots": (),
+    "shared_calls": ("lane",),
+    "privatizers": (),
+}
+
 #: One lane: a specialized config plus its workload (or workload name).
 LaneSpec = Tuple[SystemConfig, Union[Workload, str]]
 

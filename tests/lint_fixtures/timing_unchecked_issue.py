@@ -1,0 +1,35 @@
+"""Fixture: timing-unchecked-issue (ACT committed with no gate reads).
+
+Opted into the timing-coverage pass with the marker below.  The bad
+scheme commits an activate (``open_row[g] = row``) without consulting
+any of the mandated ACT state (``act_ready``/``next_act_ok``/``faw``/
+``gate``) — the protocol hole the pass exists to catch.  The good
+scheme performs the full consultation chain and is not flagged.
+"""
+
+# reprolint: timing
+
+
+class SneakyScheme:
+    """Issues activates with zero timing-state consultation."""
+
+    def try_activate(self, core, g: int, row: int) -> bool:
+        core.open_row[g] = row
+        return True
+
+
+class CheckedScheme:
+    """Performs the mandated consultation before committing."""
+
+    def try_activate(self, core, rank, cycle: int, g: int, row: int) -> bool:
+        rank_idx = g // 8
+        if cycle < core.act_ready[g]:
+            return False
+        if cycle < core.next_act_ok[rank_idx]:
+            return False
+        if cycle < core.gate[rank_idx]:
+            return False
+        if rank.faw.next_allowed(cycle, 1) > cycle:
+            return False
+        core.open_row[g] = row
+        return True

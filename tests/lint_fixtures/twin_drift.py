@@ -1,0 +1,28 @@
+"""Fixture: twin-drift (in-file twin pair that has diverged).
+
+Declares a ``REPRO_TWIN_PAIRS`` pair whose two functions were once
+transcriptions of each other but no longer are: ``fast_sum`` grew an
+early-exit the reference never got.  The pass compares the two bodies
+structurally (names and docstrings excluded), so the divergence fires
+regardless of line positions.
+"""
+
+REPRO_TWIN_PAIRS = (("fixture-sum", "reference_sum", "fast_sum"),)
+
+
+def reference_sum(values: list) -> int:
+    """The slow reference."""
+    total = 0
+    for value in values:
+        total += value
+    return total
+
+
+def fast_sum(values: list) -> int:
+    """Supposed transcription of :func:`reference_sum` — drifted."""
+    total = 0
+    for value in values:
+        if value == 0:
+            continue
+        total += value
+    return total

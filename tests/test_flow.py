@@ -1,0 +1,279 @@
+"""Unit tests for the dataflow layer (repro.analysis.flow).
+
+The v2 lint passes stand on three facts this module must get right in
+isolation — CFG shape, dominance, and forward may-state propagation —
+so each is pinned here on small synthetic functions, independent of
+any lint rule.
+"""
+
+import ast
+
+from repro.analysis.flow import (
+    build_cfg,
+    iter_functions,
+    join_max,
+    solve_forward,
+)
+
+
+def _body(source):
+    """Parse a function's body statements from source text."""
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return fn.body
+
+
+def _stmt(cfg, marker):
+    """The placed statement whose unparse contains ``marker``."""
+    for block in cfg.blocks:
+        for stmt in block.stmts:
+            if marker in ast.unparse(stmt).split("\n")[0]:
+                return stmt
+    raise AssertionError(f"no placed statement matches {marker!r}")
+
+
+# ----------------------------------------------------------------------
+# CFG construction.
+# ----------------------------------------------------------------------
+def test_straight_line_is_one_block():
+    cfg = build_cfg(_body("def f():\n    a = 1\n    b = 2\n    return b\n"))
+    placed = [s for b in cfg.blocks for s in b.stmts]
+    assert len(placed) == 3
+    # All three statements share the entry block.
+    positions = {cfg.position(s)[0] for s in placed}
+    assert positions == {cfg.entry.id}
+
+
+def test_if_branches_and_join():
+    cfg = build_cfg(_body(
+        "def f(c):\n"
+        "    a = 1\n"
+        "    if c:\n"
+        "        b = 2\n"
+        "    else:\n"
+        "        b = 3\n"
+        "    return b\n"
+    ))
+    header = _stmt(cfg, "if c:")
+    then_stmt = _stmt(cfg, "b = 2")
+    else_stmt = _stmt(cfg, "b = 3")
+    ret = _stmt(cfg, "return b")
+    header_block = cfg.position(header)[0]
+    # Branches live in distinct blocks, both successors of the header's.
+    assert cfg.position(then_stmt)[0] != cfg.position(else_stmt)[0]
+    succs = set(cfg.blocks[header_block].succs)
+    assert cfg.position(then_stmt)[0] in succs
+    assert cfg.position(else_stmt)[0] in succs
+    # The join point is downstream of both branches.
+    assert cfg.position(ret)[0] not in (
+        cfg.position(then_stmt)[0], cfg.position(else_stmt)[0],
+    )
+
+
+def test_while_loop_back_edge():
+    cfg = build_cfg(_body(
+        "def f(n):\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        i = i + 1\n"
+        "    return i\n"
+    ))
+    header_block = cfg.position(_stmt(cfg, "while i < n:"))[0]
+    body_block = cfg.position(_stmt(cfg, "i = i + 1"))[0]
+    # Loop body edges back to the header.
+    assert header_block in cfg.blocks[body_block].succs
+
+
+def test_break_edges_to_loop_exit_not_header():
+    cfg = build_cfg(_body(
+        "def f(n):\n"
+        "    while True:\n"
+        "        if n:\n"
+        "            break\n"
+        "        n = n - 1\n"
+        "    return n\n"
+    ))
+    break_block = cfg.position(_stmt(cfg, "break"))[0]
+    header_block = cfg.position(_stmt(cfg, "while True:"))[0]
+    ret_block = cfg.position(_stmt(cfg, "return n"))[0]
+    assert header_block not in cfg.blocks[break_block].succs
+    # The break reaches the return without passing the header again.
+    reachable = {break_block}
+    work = [break_block]
+    while work:
+        for succ in cfg.blocks[work.pop()].succs:
+            if succ not in reachable:
+                reachable.add(succ)
+                work.append(succ)
+    assert ret_block in reachable
+
+
+def test_return_ends_the_path():
+    cfg = build_cfg(_body(
+        "def f(c):\n"
+        "    if c:\n"
+        "        return 1\n"
+        "    return 2\n"
+    ))
+    ret1_block = cfg.position(_stmt(cfg, "return 1"))[0]
+    assert cfg.blocks[ret1_block].succs == [cfg.exit.id]
+
+
+def test_try_handler_reachable_from_header():
+    cfg = build_cfg(_body(
+        "def f():\n"
+        "    try:\n"
+        "        a = 1\n"
+        "    except ValueError:\n"
+        "        a = 2\n"
+        "    return a\n"
+    ))
+    header_block = cfg.position(_stmt(cfg, "try:"))[0]
+    handler_block = cfg.position(_stmt(cfg, "a = 2"))[0]
+    assert handler_block in cfg.blocks[header_block].succs
+
+
+# ----------------------------------------------------------------------
+# Dominance.
+# ----------------------------------------------------------------------
+def test_header_dominates_branches_and_join():
+    cfg = build_cfg(_body(
+        "def f(c):\n"
+        "    guard = c\n"
+        "    if guard:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    use = a\n"
+    ))
+    header = _stmt(cfg, "if guard:")
+    assert cfg.stmt_dominates(header, _stmt(cfg, "a = 1"))
+    assert cfg.stmt_dominates(header, _stmt(cfg, "a = 2"))
+    assert cfg.stmt_dominates(header, _stmt(cfg, "use = a"))
+    # A branch does NOT dominate the join (the other path bypasses it).
+    assert not cfg.stmt_dominates(_stmt(cfg, "a = 1"), _stmt(cfg, "use = a"))
+
+
+def test_same_block_dominance_is_order():
+    cfg = build_cfg(_body("def f():\n    a = 1\n    b = 2\n"))
+    first = _stmt(cfg, "a = 1")
+    second = _stmt(cfg, "b = 2")
+    assert cfg.stmt_dominates(first, second)
+    assert not cfg.stmt_dominates(second, first)
+    assert not cfg.stmt_dominates(first, first)
+
+
+def test_loop_body_does_not_dominate_exit():
+    cfg = build_cfg(_body(
+        "def f(n):\n"
+        "    for i in range(n):\n"
+        "        x = i\n"
+        "    return n\n"
+    ))
+    assert not cfg.stmt_dominates(_stmt(cfg, "x = i"), _stmt(cfg, "return n"))
+    assert cfg.stmt_dominates(
+        _stmt(cfg, "for i in range(n):"), _stmt(cfg, "return n")
+    )
+
+
+# ----------------------------------------------------------------------
+# Forward may-analysis (alias-style propagation).
+# ----------------------------------------------------------------------
+def _tainting_transfer(stmt, state):
+    """Toy transfer: ``x = taint()`` sets x=2, any other assign clears."""
+    out = dict(state)
+    if isinstance(stmt, ast.Assign) and isinstance(stmt.targets[0], ast.Name):
+        name = stmt.targets[0].id
+        value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "taint"
+        ):
+            out[name] = 2
+        elif isinstance(value, ast.Name) and state.get(value.id, 0) == 2:
+            out[name] = 2  # propagate through copies
+        else:
+            out.pop(name, None)
+    return out
+
+
+def _pre(cfg, pre_states, marker):
+    return pre_states[id(_stmt(cfg, marker))]
+
+
+def test_branch_join_is_may_union():
+    cfg = build_cfg(_body(
+        "def f(c):\n"
+        "    if c:\n"
+        "        x = taint()\n"
+        "    else:\n"
+        "        x = 1\n"
+        "    sink = x\n"
+    ))
+    pre = solve_forward(cfg, _tainting_transfer)
+    # At the join, x *may* be tainted (one path taints it).
+    assert _pre(cfg, pre, "sink = x").get("x") == 2
+
+
+def test_rebind_kills_taint():
+    cfg = build_cfg(_body(
+        "def f():\n"
+        "    x = taint()\n"
+        "    x = 1\n"
+        "    sink = x\n"
+    ))
+    pre = solve_forward(cfg, _tainting_transfer)
+    assert _pre(cfg, pre, "sink = x").get("x") is None
+
+
+def test_copy_propagates_taint():
+    cfg = build_cfg(_body(
+        "def f():\n"
+        "    x = taint()\n"
+        "    y = x\n"
+        "    sink = y\n"
+    ))
+    pre = solve_forward(cfg, _tainting_transfer)
+    assert _pre(cfg, pre, "sink = y").get("y") == 2
+
+
+def test_loop_reaches_fixpoint_with_carry():
+    # Taint introduced inside the loop must be visible at the loop
+    # header on the second iteration (back-edge propagation).
+    cfg = build_cfg(_body(
+        "def f(n):\n"
+        "    while n:\n"
+        "        sink = x\n"
+        "        x = taint()\n"
+        "    return n\n"
+    ))
+    pre = solve_forward(cfg, _tainting_transfer)
+    assert _pre(cfg, pre, "sink = x").get("x") == 2
+
+
+def test_join_max_takes_per_name_maximum():
+    assert join_max([{"a": 1, "b": 2}, {"a": 2, "c": 1}]) == {
+        "a": 2, "b": 2, "c": 1,
+    }
+    assert join_max([]) == {}
+
+
+# ----------------------------------------------------------------------
+# Function discovery.
+# ----------------------------------------------------------------------
+def test_iter_functions_qualnames():
+    tree = ast.parse(
+        "def top():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "class C:\n"
+        "    def method(self):\n"
+        "        pass\n"
+        "if True:\n"
+        "    def guarded():\n"
+        "        pass\n"
+    )
+    names = {qual for qual, _ in iter_functions(tree)}
+    assert names == {"top", "top.<locals>.inner", "C.method", "guarded"}
