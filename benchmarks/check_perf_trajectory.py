@@ -6,7 +6,7 @@ against the most recent ``BENCH_history.jsonl`` record produced in the
 **same environment** — matched by the ``_env.fingerprint`` stamp
 (engine, python/numpy major.minor, platform), so a compiled-engine run
 is never graded against an interpreted baseline, nor a 3.12 run
-against a 3.10 one.  A scheme whose best-of-3 req/s dropped more than
+against a 3.10 one.  A scheme whose best-of-N req/s dropped more than
 the threshold (default 25%, ``REPRO_PERF_REGRESSION_PCT`` or
 ``--threshold`` overrides) fails the check.
 
@@ -30,8 +30,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 THROUGHPUT_PATH = REPO_ROOT / "BENCH_throughput.json"
 HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 
-#: Per-scheme metric the trajectory is graded on.
-RATE_KEY = "requests_per_second_best_of_3"
+#: Per-scheme metric the trajectory is graded on.  Older snapshots
+#: (before the dispersion-adaptive best-of-N reps) recorded the rate
+#: under the legacy key, so history records keep grading across the
+#: rename.
+RATE_KEY = "requests_per_second_best"
+LEGACY_RATE_KEYS = ("requests_per_second_best_of_3",)
 
 DEFAULT_THRESHOLD_PCT = 25.0
 
@@ -47,9 +51,11 @@ def scheme_rates(sections):
     for name, section in sections.items():
         if name.startswith("_") or not isinstance(section, dict):
             continue
-        rate = section.get(RATE_KEY)
-        if isinstance(rate, (int, float)) and rate > 0:
-            rates[name] = float(rate)
+        for key in (RATE_KEY, *LEGACY_RATE_KEYS):
+            rate = section.get(key)
+            if isinstance(rate, (int, float)) and rate > 0:
+                rates[name] = float(rate)
+                break
     return rates
 
 

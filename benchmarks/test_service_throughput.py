@@ -1,0 +1,185 @@
+"""Meta-benchmark: sweep-service caching — cold grid vs warm store.
+
+Not a paper figure — this measures the content-addressed sweep
+service (:mod:`repro.service`) on the same 24-point screening grid as
+``test_sweep_throughput.py`` (6 schemes x 4 workloads, 512 KB LLC,
+warmup-dominated points):
+
+* **cold** — a fresh service root: every point is novel, scheduled on
+  the warm-affinity pools, simulated, stored, journaled;
+* **warm resubmit** — the service is torn down and rebuilt on the same
+  root (exactly a restart): journal replay plus the content-addressed
+  store serve the identical job without simulating anything.  The
+  floor is 50x (``REPRO_SERVICE_SPEEDUP_FLOOR`` overrides), and the
+  zero-compute claim is asserted on the scheduler's ``computed``
+  counter, not timing;
+* **50% overlap** — a different job sharing half its grid: exactly the
+  novel half is computed (counters again), the rest is cache hits.
+
+All three land in the ``_service`` section of
+``BENCH_throughput.json`` (mirrored into ``BENCH_history.jsonl`` by
+the benchmark conftest), and the cold rows are checked bit-identical
+against the serial in-process sweep.
+"""
+
+import asyncio
+import os
+import time
+
+from repro.sim.snapshot import SNAPSHOTS
+from repro.sim.sweep import Sweep
+from repro.service.jobs import JobManager
+
+from bench_io import update_results
+
+#: Same screening-fidelity grid as the sweep benchmark: warmup
+#: dominates each point, which is exactly what the store amortizes.
+EVENTS = 100
+WARMUP = 12000
+LLC_BYTES = 512 * 1024
+POOLS = 2
+WORKERS_PER_POOL = 1
+
+SCHEMES = ["Baseline", "FGA", "Half-DRAM", "PRA", "SDS", "DBI+PRA"]
+WORKLOADS = ["GUPS", "MIX1", "MIX2", "LinkedList"]
+#: Overlap job: same schemes, half old workloads + as many new ones.
+OVERLAP_WORKLOADS = ["GUPS", "MIX1", "MIX3", "MIX4"]
+
+SPEC = {
+    "events_per_core": EVENTS,
+    "warmup_events_per_core": WARMUP,
+    "llc_bytes": LLC_BYTES,
+    "axes": {"scheme": SCHEMES, "workload": WORKLOADS},
+}
+OVERLAP_SPEC = {
+    "events_per_core": EVENTS,
+    "warmup_events_per_core": WARMUP,
+    "llc_bytes": LLC_BYTES,
+    "axes": {"scheme": SCHEMES, "workload": OVERLAP_WORKLOADS},
+}
+
+
+def _serial_rows():
+    from repro.sim.config import CacheConfig, SystemConfig
+
+    sweep = Sweep(
+        events_per_core=EVENTS,
+        base_config=SystemConfig(cache=CacheConfig(llc_bytes=LLC_BYTES)),
+        warmup_events_per_core=WARMUP,
+    )
+    sweep.add_axis("scheme", SCHEMES)
+    sweep.add_axis("workload", WORKLOADS)
+    return sweep.run()
+
+
+async def _timed_job(root, spec):
+    """(seconds, final status, rows, scheduler stats) for one service
+    lifetime submitting ``spec``; startup/replay is inside the timing —
+    a resubmit pays journal replay plus store lookups, which is the
+    cost being claimed."""
+    manager = JobManager(
+        root, pools=POOLS, workers_per_pool=WORKERS_PER_POOL
+    )
+    t0 = time.perf_counter()
+    await manager.start()
+    status = await manager.submit(spec)
+    final = await manager.wait(status.job_id)
+    elapsed = time.perf_counter() - t0
+    rows = manager.rows(final.job_id)
+    stats = manager.scheduler.stats()
+    await manager.close()
+    return elapsed, final, rows, stats
+
+
+async def _overlap_job(root, spec):
+    """Submit the overlap spec to a running service on ``root``."""
+    manager = JobManager(
+        root, pools=POOLS, workers_per_pool=WORKERS_PER_POOL
+    )
+    await manager.start()
+    # start() resumed the journaled 24-point job; isolate the overlap
+    # job's own compute in the scheduler counter.
+    base_computed = manager.scheduler.computed
+    t0 = time.perf_counter()
+    status = await manager.submit(spec)
+    final = await manager.wait(status.job_id)
+    elapsed = time.perf_counter() - t0
+    rows = manager.rows(final.job_id)
+    computed = manager.scheduler.computed - base_computed
+    await manager.close()
+    return elapsed, final, rows, computed
+
+
+def test_service_store_speedup(tmp_path):
+    """Warm-store resubmit vs cold compute; overlap computes only novel."""
+    floor = float(os.environ.get("REPRO_SERVICE_SPEEDUP_FLOOR", "50.0"))
+    root = str(tmp_path / "service")
+    points = len(SCHEMES) * len(WORKLOADS)
+
+    serial = _serial_rows()
+
+    # Cold arm: empty root, every point novel.
+    SNAPSHOTS.clear()
+    cold_s, cold_final, cold_rows, cold_stats = asyncio.run(
+        _timed_job(root, SPEC)
+    )
+    assert cold_final.state == "done"
+    assert (cold_final.cached, cold_final.computed) == (0, points)
+    assert cold_stats["computed"] == points
+    assert cold_rows == serial  # bit-identical to the serial oracle
+
+    # Warm arm: a *restarted* service on the same root — replay the
+    # journal, dedup against the store, simulate nothing.
+    warm_s, warm_final, warm_rows, warm_stats = asyncio.run(
+        _timed_job(root, SPEC)
+    )
+    assert warm_final.state == "done"
+    assert warm_final.job_id == cold_final.job_id
+    assert (warm_final.cached, warm_final.computed) == (points, 0)
+    assert warm_stats["computed"] == 0  # zero recomputation, by counter
+    assert warm_rows == cold_rows
+
+    speedup = cold_s / warm_s
+
+    # Overlap arm: a different job id sharing exactly half its grid.
+    overlap_points = len(SCHEMES) * len(OVERLAP_WORKLOADS)
+    novel = len(SCHEMES) * len(
+        set(OVERLAP_WORKLOADS) - set(WORKLOADS)
+    )
+    overlap_s, overlap_final, overlap_rows, overlap_computed = asyncio.run(
+        _overlap_job(root, OVERLAP_SPEC)
+    )
+    assert overlap_final.state == "done"
+    assert overlap_final.job_id != cold_final.job_id
+    assert overlap_final.cached == overlap_points - novel
+    assert overlap_final.computed == novel
+    assert overlap_computed == novel  # only the novel half simulated
+    assert overlap_rows is not None and len(overlap_rows) == overlap_points
+
+    print()
+    print(f"=== Sweep service store ({points} points, {POOLS} pools) ===")
+    print(f"  cold compute   {cold_s:7.2f} s  ({points / cold_s:6.1f} points/s)")
+    print(f"  warm resubmit  {warm_s:7.3f} s  ({points / warm_s:6.1f} points/s)")
+    print(f"  speedup        {speedup:7.1f}x  (floor {floor}x)")
+    print(f"  50% overlap    {overlap_s:7.2f} s  "
+          f"({overlap_final.cached} cached, {overlap_final.computed} computed)")
+
+    update_results("_service", {
+        "grid_points": points,
+        "pools": POOLS,
+        "workers_per_pool": WORKERS_PER_POOL,
+        "events_per_core": EVENTS,
+        "warmup_events_per_core": WARMUP,
+        "llc_bytes": LLC_BYTES,
+        "cold_seconds": round(cold_s, 3),
+        "cold_points_per_second": round(points / cold_s, 2),
+        "warm_resubmit_seconds": round(warm_s, 3),
+        "warm_resubmit_speedup": round(speedup, 1),
+        "warm_recomputed_points": warm_stats["computed"],
+        "overlap_grid_points": overlap_points,
+        "overlap_cached": overlap_final.cached,
+        "overlap_computed": overlap_final.computed,
+        "overlap_seconds": round(overlap_s, 3),
+    })
+
+    assert speedup >= floor

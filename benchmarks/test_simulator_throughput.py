@@ -21,9 +21,10 @@ Two tests:
 
 All sections are written through :mod:`bench_io`, which stamps the
 ``_env`` provenance (engine, python/numpy, platform, git sha,
-comparison fingerprint) into the snapshot; besides best-of-3, each
-scheme records min/median/spread so the trajectory history captures
-measurement dispersion, not just the headline.
+comparison fingerprint) into the snapshot; besides the best-of-N
+headline (N = 3, stretched to 5 when the spread exceeds 15%), each
+scheme records min/median/spread and ``reps_used`` so the trajectory
+history captures measurement dispersion, not just the headline.
 """
 
 import statistics
@@ -43,6 +44,19 @@ EVENTS = 1500
 #: evictions (DRAM write traffic) in the 512 KiB LLC used here while
 #: keeping the measured run dominated by the scheduling hot path.
 WARMUP = 2000
+
+#: Per-scheme dispersion control: start at best-of-3 and take up to
+#: two more reps when the spread exceeds the limit, so a noisy sample
+#: window (measured 25%+ on SDS under a busy 1-core container) tightens
+#: itself instead of polluting the trajectory history.
+REPS_BASE = 3
+REPS_MAX = 5
+SPREAD_LIMIT_PCT = 15.0
+
+
+def _spread_pct(rates):
+    best, worst = max(rates), min(rates)
+    return (best - worst) / worst * 100.0 if worst else 0.0
 
 
 def one_run(scheme=PRA):
@@ -75,18 +89,26 @@ def test_simulator_throughput(benchmark):
 
 @pytest.mark.parametrize("scheme", [BASELINE, PRA, SDS], ids=lambda s: s.name)
 def test_throughput_per_scheme(scheme):
-    """Best-of-3 req/s per scheme (+ dispersion), archived as JSON."""
+    """Best-of-N req/s per scheme (+ dispersion), archived as JSON.
+
+    N adapts to the measurement: 3 reps normally, up to 5 when the
+    best/min spread exceeds :data:`SPREAD_LIMIT_PCT` — extra reps are
+    the cheap fix for a noisy window, and ``reps_used`` rides along so
+    the history shows when a sample needed them.
+    """
     rates = []
     served = cycles = 0
-    for _ in range(3):
+    while len(rates) < REPS_BASE or (
+        _spread_pct(rates) > SPREAD_LIMIT_PCT and len(rates) < REPS_MAX
+    ):
         t0 = time.perf_counter()
         served, cycles = one_run(scheme)
         elapsed = time.perf_counter() - t0
         rates.append(served / elapsed)
     best, worst = max(rates), min(rates)
     median = statistics.median(rates)
-    spread_pct = (best - worst) / worst * 100.0 if worst else 0.0
-    print(f"\n  {scheme.name:<10} {best:,.0f} req/s best-of-3 "
+    spread_pct = _spread_pct(rates)
+    print(f"\n  {scheme.name:<10} {best:,.0f} req/s best-of-{len(rates)} "
           f"(median {median:,.0f}, min {worst:,.0f}, "
           f"spread {spread_pct:.1f}%; {served} served, {cycles} cycles)")
     assert served > 0
@@ -102,10 +124,11 @@ def test_throughput_per_scheme(scheme):
     # drop with a 3% spread is a regression; with a 40% spread it is a
     # flaky machine.
     update_results(scheme.name, {
-        "requests_per_second_best_of_3": round(best),
+        "requests_per_second_best": round(best),
         "requests_per_second_median": round(median),
         "requests_per_second_min": round(worst),
         "requests_per_second_spread_pct": round(spread_pct, 1),
+        "reps_used": len(rates),
         "requests_served": served,
         "simulated_cycles": cycles,
         "events_per_core": EVENTS,

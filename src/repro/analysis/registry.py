@@ -39,6 +39,23 @@ FAST_PATH_MODULES = frozenset(
         "src/repro/sim/system.py",
         "src/repro/sim/pool.py",
         "src/repro/sim/batch.py",
+        "src/repro/service/jobs.py",
+    }
+)
+
+#: Repo-relative paths of modules that compute content-addressed
+#: digests (the sweep service's cache keys).  A digest must be a pure
+#: function of the canonical spec: the ``determinism-digest-canonical``
+#: rule bans builtin ``hash()`` (salted per process) and
+#: ``json.dumps`` without ``sort_keys=True`` (dict insertion order) in
+#: these modules, so two services — or one service across a
+#: kill/restart — always agree on what has already been computed.
+#: Modules may also opt in with a ``# reprolint: digest`` comment.
+DIGEST_MODULE_PATHS = frozenset(
+    {
+        "src/repro/service/digest.py",
+        "src/repro/service/store.py",
+        "src/repro/service/journal.py",
     }
 )
 
@@ -141,6 +158,14 @@ def is_compiled_module(path: str, source: str) -> bool:
     if any(norm.endswith(mod) for mod in COMPILED_MODULE_PATHS):
         return True
     return "# reprolint: compiled" in source
+
+
+def is_digest_module(path: str, source: str) -> bool:
+    """True if the digest-canonicalization rule applies to this module."""
+    norm = normalize(path)
+    if any(norm.endswith(mod) for mod in DIGEST_MODULE_PATHS):
+        return True
+    return "# reprolint: digest" in source
 
 
 def allows_energy_accumulation(path: str) -> bool:

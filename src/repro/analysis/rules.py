@@ -22,6 +22,12 @@ RNG, or unordered iteration into sim code silently breaks that.
   ``*energy*`` counters outside ``repro/power``; energy bookkeeping
   is centralized so streak-batched and per-command accounting stay
   bit-identical.
+* ``determinism-digest-canonical`` — in digest modules
+  (:data:`repro.analysis.registry.DIGEST_MODULE_PATHS`, the sweep
+  service's content-addressed cache keys), no builtin ``hash()``
+  (salted per process since PEP 456) and no ``json.dumps``/``dump``
+  without ``sort_keys=True`` (insertion-ordered); a cache key that
+  varies across processes defeats cross-job and cross-restart dedup.
 
 **Oracle parity** — every registered fast path must say what its
 oracle twin is and which equivalence tests pin the pairing:
@@ -113,6 +119,9 @@ ALL_RULES: Tuple[Rule, ...] = (
          "iteration over an unordered set without sorted(...)"),
     Rule("determinism-float-energy", "determinism",
          "float accumulation into an energy counter outside repro/power"),
+    Rule("determinism-digest-canonical", "determinism",
+         "process-salted hash() or unsorted json serialization in a "
+         "digest module"),
     Rule("oracle-twin-undeclared", "oracle-parity",
          "fast-path module without a resolvable ORACLE_TWIN declaration"),
     Rule("oracle-test-missing", "oracle-parity",
@@ -264,17 +273,23 @@ class _ModuleChecker(ast.NodeVisitor):
         hot_path: bool,
         energy_ok: bool,
         compiled: bool = False,
+        digest: bool = False,
     ) -> None:
         self.path = path
         self.hot_path = hot_path
         self.energy_ok = energy_ok
         self.compiled = compiled
+        self.digest = digest
         #: Function nesting depth (compiled rule: no classes in functions).
         self.func_depth = 0
         self.findings: List[Finding] = []
-        #: Aliases the ``random`` / ``time`` modules are imported under.
+        #: Aliases the ``random`` / ``time`` / ``json`` modules are
+        #: imported under, and names ``json.dumps``/``dump`` are bound
+        #: to by ``from json import ...``.
         self.random_aliases: Set[str] = set()
         self.time_aliases: Set[str] = set()
+        self.json_aliases: Set[str] = set()
+        self.json_dump_names: Set[str] = set()
         #: Names bound to set-valued expressions (per scope; coarse).
         self.set_names: Set[str] = set()
         self.loop_depth = 0
@@ -297,6 +312,8 @@ class _ModuleChecker(ast.NodeVisitor):
                 self.random_aliases.add(alias.asname or "random")
             elif alias.name == "time":
                 self.time_aliases.add(alias.asname or "time")
+            elif alias.name == "json":
+                self.json_aliases.add(alias.asname or "json")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -322,11 +339,46 @@ class _ModuleChecker(ast.NodeVisitor):
                         f"'from time import {alias.name}' reads the wall "
                         f"clock inside sim code",
                     )
+        elif node.module == "json":
+            for alias in node.names:
+                if alias.name in ("dumps", "dump"):
+                    self.json_dump_names.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # -- calls ---------------------------------------------------------
+    def _check_digest_call(self, node: ast.Call) -> None:
+        """Digest-module canonicalization: no hash(), sorted JSON only."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "hash":
+            self._add(
+                node, "determinism-digest-canonical",
+                "builtin hash() is salted per process (PEP 456); digest "
+                "inputs must go through hashlib over canonical bytes",
+            )
+            return
+        serializes = (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.json_aliases
+            and func.attr in ("dumps", "dump")
+        ) or (isinstance(func, ast.Name) and func.id in self.json_dump_names)
+        if serializes and not any(
+            kw.arg == "sort_keys"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value
+            for kw in node.keywords
+        ):
+            self._add(
+                node, "determinism-digest-canonical",
+                "json serialization without sort_keys=True in a digest "
+                "module; key order must not depend on dict insertion "
+                "history",
+            )
+
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if self.digest:
+            self._check_digest_call(node)
         if (
             self.compiled
             and isinstance(func, ast.Name)
@@ -734,6 +786,7 @@ def check_file(
         hot_path=registry.is_hot_path(path, source),
         energy_ok=registry.allows_energy_accumulation(path),
         compiled=registry.is_compiled_module(path, source),
+        digest=registry.is_digest_module(path, source),
     )
     checker.visit(tree)
     _check_oracle_parity(checker, path, repo_root)

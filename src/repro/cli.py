@@ -20,6 +20,17 @@ Commands
     Run the full static layer — reprolint (including the v2 dataflow
     passes) plus the strict typing gate — with ``--format json`` /
     ``--format github`` outputs for CI.
+``serve``
+    Run the long-lived sweep service (HTTP/JSON job API, shared
+    content-addressed result store, checkpointed journal) until
+    interrupted.
+``submit``
+    Submit a sweep to a running service, wait for it, and print (or
+    export) the rows — identical grid points across jobs and clients
+    are computed once.
+``results``
+    Fetch a job's status/rows or a single cached point row from a
+    running service.
 
 Examples::
 
@@ -30,6 +41,10 @@ Examples::
         --pool 4 --out grid.csv
     python -m repro bench --suite fig12 --pool 4
     python -m repro lint --format github
+    python -m repro serve --dir /var/tmp/sweeps --port 8032
+    python -m repro submit --port 8032 --schemes Baseline PRA \
+        --workloads GUPS MIX1 --out grid.csv
+    python -m repro results --port 8032 --job <job-id>
 """
 
 from __future__ import annotations
@@ -173,6 +188,66 @@ def build_parser() -> argparse.ArgumentParser:
                          "default: min(2, available CPUs))")
     bench_p.add_argument("--sanitize", action="store_true",
                          help="enable the runtime sanitizer")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the long-lived sweep service (HTTP/JSON API)"
+    )
+    serve_p.add_argument("--dir", required=True, dest="root",
+                         help="service state directory (result store, "
+                         "journal, warm snapshots)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="listen port (0 = kernel-chosen; see "
+                         "--port-file)")
+    serve_p.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write the bound port here once listening "
+                         "(atomic; lets scripts await a port=0 service)")
+    serve_p.add_argument("--pools", type=int, default=1, metavar="K",
+                         help="independent warm SimPools to shard "
+                         "fingerprint groups across")
+    serve_p.add_argument("--workers-per-pool", type=int, default=1,
+                         metavar="W", help="worker processes per pool")
+    serve_p.add_argument("--max-inflight", type=int, default=2, metavar="N",
+                         help="tasks enqueued per worker before backpressure")
+
+    def add_service_endpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8032)
+        p.add_argument("--port-file", default=None, metavar="PATH",
+                       help="read the service port from PATH (overrides "
+                       "--port; pairs with 'serve --port-file')")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a sweep to a running service"
+    )
+    add_service_endpoint(submit_p)
+    submit_p.add_argument("--workloads", nargs="+", default=["GUPS", "MIX1"])
+    submit_p.add_argument("--schemes", nargs="+", default=["Baseline", "PRA"])
+    submit_p.add_argument("--policies", nargs="+", choices=sorted(_POLICIES),
+                          default=None)
+    submit_p.add_argument("--ecc-chips", nargs="+", type=int, default=None,
+                          help="ecc_chips axis values (0 and/or 1)")
+    submit_p.add_argument("--events", type=int, default=4000)
+    submit_p.add_argument("--seed", type=int, default=1)
+    submit_p.add_argument("--warmup", type=int, default=None,
+                          help="warmup events per core (default: resolved "
+                          "per workload)")
+    submit_p.add_argument("--llc-bytes", type=int, default=None)
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return without waiting")
+    submit_p.add_argument("--out", default=None,
+                          help="export rows to .csv or .json once done")
+
+    results_p = sub.add_parser(
+        "results", help="fetch job status/rows or one cached point row"
+    )
+    add_service_endpoint(results_p)
+    results_p.add_argument("--job", default=None, metavar="JOB_ID",
+                           help="job to report (status, and rows when done)")
+    results_p.add_argument("--digest", default=None, metavar="DIGEST",
+                           help="single point digest to fetch")
+    results_p.add_argument("--out", default=None,
+                           help="export job rows to .csv or .json")
 
     lint_p = sub.add_parser(
         "lint", help="run reprolint + the strict typing gate"
@@ -481,6 +556,136 @@ def _print_batch_attribution(stats: "object") -> None:
     print(f"  {'everything else':<26}{other:8.3f} s  ({100 * other / grand:5.1f}%)")
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep service until interrupted (Ctrl-C exits cleanly)."""
+    import asyncio
+
+    from repro.service.server import run_service
+
+    total = args.pools * args.workers_per_pool
+    cpus = _available_cpus()
+    if total > cpus:
+        raise ValueError(
+            f"--pools {args.pools} x --workers-per-pool "
+            f"{args.workers_per_pool} = {total} simulation workers "
+            f"exceeds the {cpus} available CPU(s); shrink one of them"
+        )
+    if args.pools < 1 or args.workers_per_pool < 1:
+        raise ValueError("--pools and --workers-per-pool must be positive")
+    print(f"sweep service: dir={args.root} pools={args.pools} "
+          f"workers/pool={args.workers_per_pool}", file=sys.stderr)
+    try:
+        asyncio.run(
+            run_service(
+                args.root,
+                host=args.host,
+                port=args.port,
+                pools=args.pools,
+                workers_per_pool=args.workers_per_pool,
+                max_inflight=args.max_inflight,
+                port_file=args.port_file,
+            )
+        )
+    except KeyboardInterrupt:
+        print("sweep service: interrupted, shut down", file=sys.stderr)
+    return 0
+
+
+def _service_client(args: argparse.Namespace) -> "object":
+    """Build a :class:`ServiceClient` from endpoint flags."""
+    from repro.service.client import ServiceClient
+
+    port = args.port
+    if args.port_file is not None:
+        with open(args.port_file) as handle:
+            port = int(handle.read().strip())
+    return ServiceClient(host=args.host, port=port)
+
+
+def _export_rows(rows: "List[dict]", out: str) -> None:
+    """Write service rows to ``.csv`` or ``.json`` (sweep-compatible)."""
+    import csv
+    import json as _json
+
+    if out.endswith(".json"):
+        with open(out, "w") as handle:
+            _json.dump(rows, handle, indent=2)
+        return
+    with open(out, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a sweep spec over HTTP; optionally wait and export rows."""
+    axes: dict = {"scheme": args.schemes, "workload": args.workloads}
+    if args.policies is not None:
+        axes["policy"] = args.policies
+    if args.ecc_chips is not None:
+        axes["ecc_chips"] = args.ecc_chips
+    spec = {
+        "events_per_core": args.events,
+        "seed": args.seed,
+        "warmup_events_per_core": args.warmup,
+        "llc_bytes": args.llc_bytes,
+        "axes": axes,
+    }
+    client = _service_client(args)
+    status = client.submit(spec)  # type: ignore[attr-defined]
+    print(f"job {status['job_id']}: {status['state']} "
+          f"({status['total']} points, {status['cached']} cached, "
+          f"{status['coalesced']} coalesced, {status['computed']} computing)")
+    if args.no_wait:
+        return 0
+    status = client.wait(status["job_id"])  # type: ignore[attr-defined]
+    if status["state"] != "done":
+        print(f"error: job failed: {status.get('error')}", file=sys.stderr)
+        return 1
+    rows = client.rows(status["job_id"])  # type: ignore[attr-defined]
+    if args.out:
+        _export_rows(rows, args.out)
+        print(f"wrote {len(rows)} rows to {args.out}")
+    else:
+        for row in rows:
+            print(row)
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    """Fetch results from a running service (job rows or one digest)."""
+    from repro.service.client import ServiceError
+
+    if (args.job is None) == (args.digest is None):
+        raise ValueError("pass exactly one of --job or --digest")
+    client = _service_client(args)
+    if args.digest is not None:
+        try:
+            row = client.result(args.digest)  # type: ignore[attr-defined]
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(row)
+        return 0
+    try:
+        status = client.status(args.job)  # type: ignore[attr-defined]
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {status['job_id']}: {status['state']} "
+          f"({status['completed']}/{status['total']} points)")
+    if status["state"] != "done":
+        return 0
+    rows = client.rows(status["job_id"])  # type: ignore[attr-defined]
+    if args.out:
+        _export_rows(rows, args.out)
+        print(f"wrote {len(rows)} rows to {args.out}")
+    else:
+        for row in rows:
+            print(row)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run reprolint (v1 rules + v2 dataflow passes) and the typegate.
 
@@ -581,6 +786,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "bench": cmd_bench,
         "lint": cmd_lint,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "results": cmd_results,
     }
     try:
         if args.command == "list":

@@ -1,0 +1,44 @@
+"""Long-running sweep service: job API, result cache, checkpoint/resume.
+
+The paper's evaluation is a grid of (scheme, workload, policy, ...)
+simulations, and real experiment campaigns submit many *overlapping*
+grids: fig12/fig13/fig15 share most of their points, and every client
+exploring a new scheme re-runs the same baselines.  This package turns
+the in-process sweep machinery (:mod:`repro.sim.sweep`,
+:class:`repro.sim.pool.SimPool`) into a shared, restartable service:
+
+* :mod:`repro.service.digest` — canonical sweep specs and
+  content-addressed per-point digests (the cache key);
+* :mod:`repro.service.store` — atomic on-disk result store keyed by
+  point digest;
+* :mod:`repro.service.journal` — append-only JSONL job journal for
+  kill/resume;
+* :mod:`repro.service.scheduler` — warm-affinity sharding of
+  fingerprint groups across several :class:`~repro.sim.pool.SimPool`
+  instances;
+* :mod:`repro.service.jobs` — the job manager tying the above
+  together (cross-job dedup of stored *and* in-flight points);
+* :mod:`repro.service.server` — stdlib-``asyncio`` HTTP/JSON API with
+  server-sent streaming of completed points;
+* :mod:`repro.service.client` — stdlib client for the API
+  (``repro submit`` / ``repro results``).
+
+No dependencies beyond the standard library, by design.
+"""
+
+from repro.service.digest import SweepSpec, point_digest, spec_job_id
+from repro.service.jobs import JobManager, JobStatus
+from repro.service.journal import Journal
+from repro.service.scheduler import PoolScheduler
+from repro.service.store import ResultStore
+
+__all__ = [
+    "SweepSpec",
+    "point_digest",
+    "spec_job_id",
+    "JobManager",
+    "JobStatus",
+    "Journal",
+    "PoolScheduler",
+    "ResultStore",
+]

@@ -1,0 +1,135 @@
+"""Stdlib client for the sweep service (``repro submit`` / tests).
+
+Wraps ``http.client`` — no third-party HTTP stack — with the three
+things a client of the service actually does: submit a spec, wait for
+the job, and pull results.  Waiting polls the status endpoint with a
+bounded number of fixed sleeps rather than reading a clock: the
+deadline is expressed in polls, so client code stays free of
+wallclock reads (the repo's determinism lint) while remaining
+interruptible and bounded.
+
+The SSE feed is exposed as a plain generator over decoded event
+payloads (:meth:`ServiceClient.events`), which is also the cheapest
+way to consume results as they complete: each ``point`` event carries
+its result row, so a streaming client needs no follow-up fetches.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"service returned {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """One service endpoint; connections are per-request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8032,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        expect: int = 200,
+    ) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body).encode()
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode() or "null")
+            if response.status != expect:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: Mapping[str, Any]) -> Dict[str, Any]:
+        """POST the sweep spec; returns the job status dict."""
+        result: Dict[str, Any] = self._request("POST", "/sweeps", body=spec)
+        return result
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        result: Dict[str, Any] = self._request("GET", f"/sweeps/{job_id}")
+        return result
+
+    def rows(self, job_id: str) -> List[Dict[str, Any]]:
+        result: List[Dict[str, Any]] = self._request("GET", f"/sweeps/{job_id}/rows")
+        return result
+
+    def result(self, digest: str) -> Dict[str, Any]:
+        row: Dict[str, Any] = self._request("GET", f"/results/{digest}")
+        return row
+
+    def stats(self) -> Dict[str, Any]:
+        result: Dict[str, Any] = self._request("GET", "/stats")
+        return result
+
+    def healthy(self) -> bool:
+        """True if the service answers ``/healthz`` (False on any error)."""
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    # ------------------------------------------------------------------
+    def wait(
+        self, job_id: str, poll_interval: float = 0.05, max_polls: int = 12000
+    ) -> Dict[str, Any]:
+        """Poll until the job leaves ``running``; returns final status.
+
+        The deadline is ``max_polls * poll_interval`` seconds (the
+        default allows ten minutes), counted in polls instead of read
+        from a clock.
+        """
+        for _ in range(max_polls):
+            status = self.status(job_id)
+            if status["state"] != "running":
+                return status
+            time.sleep(poll_interval)
+        raise TimeoutError(f"job {job_id} still running after {max_polls} polls")
+
+    # ------------------------------------------------------------------
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's SSE feed as decoded event dicts.
+
+        Yields each completed point (with its result row inlined) and
+        finally the ``done`` event, then returns.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/sweeps/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(response.status, response.read().decode())
+            while True:
+                line = response.fp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line.startswith(b"data: "):
+                    continue
+                event: Dict[str, Any] = json.loads(line[len(b"data: ") :].decode())
+                yield event
+                if event.get("kind") == "done":
+                    return
+        finally:
+            conn.close()

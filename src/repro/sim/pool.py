@@ -48,8 +48,8 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
-import queue as queue_mod
 import traceback
+from multiprocessing import connection as mp_connection
 from typing import (
     Any,
     Callable,
@@ -81,7 +81,7 @@ class SimPoolError(RuntimeError):
 
 
 class SimPoolBrokenError(SimPoolError):
-    """A worker process died while tasks were outstanding."""
+    """A worker died and its restart budget is exhausted."""
 
 
 class SimPoolTaskError(SimPoolError):
@@ -98,7 +98,7 @@ class SimPoolTaskError(SimPoolError):
 def _worker_main(
     worker_id: int,
     task_q: "multiprocessing.Queue",
-    result_q: "multiprocessing.Queue",
+    result_conn: "mp_connection.Connection",
 ) -> None:
     """Worker loop: execute tasks until the ``None`` sentinel arrives.
 
@@ -107,6 +107,14 @@ def _worker_main(
     tasks is what makes the worker warm.  Batch headers carry the task
     function and the batch-shared context once; task messages then
     reference the batch by id.
+
+    Results go back over a **per-worker pipe**, sent synchronously from
+    this thread.  A shared ``multiprocessing.Queue`` would ship them
+    through a background feeder thread holding a process-shared write
+    lock — a worker crashing between tasks can then die mid-send *while
+    holding that lock*, wedging every other worker's results forever.
+    With one single-writer pipe per worker, a crash can corrupt only
+    the crasher's own channel, which the parent simply replaces.
     """
     batches: Dict[int, Tuple[TaskFn, Any]] = {}
     while True:
@@ -126,9 +134,11 @@ def _worker_main(
         try:
             result = fn(shared, payload)
         except BaseException:
-            result_q.put((batch_id, worker_id, index, False, traceback.format_exc()))
+            result_conn.send(
+                (batch_id, worker_id, index, False, traceback.format_exc())
+            )
         else:
-            result_q.put((batch_id, worker_id, index, True, result))
+            result_conn.send((batch_id, worker_id, index, True, result))
 
 
 class SimPool:
@@ -138,6 +148,15 @@ class SimPool:
     workers (``None`` uses the platform default).  ``max_inflight``
     bounds how many tasks sit in each worker's queue at once; the rest
     are fed as results stream back (backpressure).
+
+    ``max_restarts`` bounds self-healing: a worker that dies is
+    replaced by a fresh process (its batch context re-shipped and its
+    uncompleted tasks resubmitted) up to ``max_restarts`` times *per
+    worker slot* before the pool declares itself broken with
+    :class:`SimPoolBrokenError`.  A task that deterministically kills
+    its worker therefore fails after a bounded number of retries
+    instead of looping.  ``worker_restarts`` (also in :meth:`stats`)
+    counts replacements over the pool's lifetime.
     """
 
     def __init__(
@@ -145,30 +164,59 @@ class SimPool:
         workers: int = 2,
         max_inflight: int = 2,
         start_method: Optional[str] = None,
+        max_restarts: int = 2,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be a positive integer")
         if max_inflight < 1:
             raise ValueError("max_inflight must be a positive integer")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
         self.workers = workers
         self.max_inflight = max_inflight
+        self.max_restarts = max_restarts
         self._ctx = multiprocessing.get_context(start_method)
-        self._task_qs = [self._ctx.Queue() for _ in range(workers)]
-        self._result_q = self._ctx.Queue()
-        self._procs = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(wid, self._task_qs[wid], self._result_q),
-                daemon=True,
-            )
-            for wid in range(workers)
-        ]
-        for proc in self._procs:
-            proc.start()
+        self._task_qs: List["multiprocessing.Queue"] = []
+        self._result_readers: List["mp_connection.Connection"] = []
+        self._procs: List["multiprocessing.process.BaseProcess"] = []
+        for wid in range(workers):
+            task_q = self._ctx.Queue()
+            self._task_qs.append(task_q)
+            self._result_readers.append(None)  # type: ignore[arg-type]
+            self._procs.append(self._spawn(wid, task_q))
         self._closed = False
         self._next_batch_id = 0
         #: Tasks completed over the pool's lifetime (observability).
         self.tasks_done = 0
+        #: Dead workers replaced over the pool's lifetime.
+        self.worker_restarts = 0
+        self._restarts_by_worker = [0] * workers
+
+    def _spawn(
+        self, wid: int, task_q: "multiprocessing.Queue"
+    ) -> "multiprocessing.process.BaseProcess":
+        """Start one worker reading ``task_q``, with a fresh result pipe."""
+        reader, writer = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, task_q, writer),
+            daemon=True,
+        )
+        proc.start()
+        # Drop the parent's copy of the write end so only the worker
+        # (and workers forked later, which inherit open fds) holds it.
+        writer.close()
+        self._result_readers[wid] = reader
+        return proc
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime observability counters (cheap, side-effect free)."""
+        return {
+            "workers": self.workers,
+            "tasks_done": self.tasks_done,
+            "worker_restarts": self.worker_restarts,
+            "max_restarts": self.max_restarts,
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -200,7 +248,11 @@ class SimPool:
                 proc.join(timeout=5.0)
         for task_q in self._task_qs:
             task_q.close()
-        self._result_q.close()
+        for reader in self._result_readers:
+            try:
+                reader.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     def _assign(
@@ -263,40 +315,63 @@ class SimPool:
         self._next_batch_id += 1
         plan = self._assign(count, group_keys)
         cursors = [0] * self.workers  # next plan position per worker
-        inflight = [0] * self.workers
+        #: Submitted-but-uncompleted indices per worker, submission
+        #: order; ``len`` is the worker's inflight count, and it is the
+        #: exact resubmission list when the worker has to be replaced.
+        pending: List[List[int]] = [[] for _ in range(self.workers)]
+        done = [False] * count
         outstanding = 0
         for wid in range(self.workers):
             if not plan[wid]:
                 continue
             self._task_qs[wid].put(("shared", batch_id, fn, shared))
-            while inflight[wid] < self.max_inflight and cursors[wid] < len(plan[wid]):
+            while len(pending[wid]) < self.max_inflight and cursors[wid] < len(
+                plan[wid]
+            ):
                 index = plan[wid][cursors[wid]]
                 self._task_qs[wid].put(("task", batch_id, index, payloads[index]))
                 cursors[wid] += 1
-                inflight[wid] += 1
+                pending[wid].append(index)
                 outstanding += 1
         try:
             while outstanding:
-                try:
-                    bid, wid, index, ok, result = self._result_q.get(timeout=1.0)
-                except queue_mod.Empty:
-                    self._check_alive()
+                ready = mp_connection.wait(list(self._result_readers), timeout=1.0)
+                if not ready:
+                    self._heal_dead_workers(batch_id, fn, shared, payloads, pending)
                     continue
-                if bid != batch_id:
-                    # Straggler from an abandoned earlier batch.
-                    continue
-                outstanding -= 1
-                inflight[wid] -= 1
-                self.tasks_done += 1
-                if cursors[wid] < len(plan[wid]):
-                    nxt = plan[wid][cursors[wid]]
-                    self._task_qs[wid].put(("task", batch_id, nxt, payloads[nxt]))
-                    cursors[wid] += 1
-                    inflight[wid] += 1
-                    outstanding += 1
-                if not ok:
-                    raise SimPoolTaskError(index, result)
-                yield index, result
+                for reader in ready:
+                    try:
+                        bid, wid, index, ok, result = reader.recv()
+                    except (EOFError, OSError):
+                        # The writer died with its pipe drained; the
+                        # budget check replaces it (or raises).
+                        self._heal_dead_workers(
+                            batch_id, fn, shared, payloads, pending
+                        )
+                        continue
+                    if bid != batch_id:
+                        # Straggler from an abandoned earlier batch.
+                        continue
+                    if done[index]:
+                        # Duplicate: a worker delivered this result just
+                        # before dying and the replacement recomputed
+                        # it.  Deterministic tasks make both copies
+                        # identical; keep the first, drop this one.
+                        continue
+                    done[index] = True
+                    if index in pending[wid]:
+                        pending[wid].remove(index)
+                    outstanding -= 1
+                    self.tasks_done += 1
+                    if cursors[wid] < len(plan[wid]):
+                        nxt = plan[wid][cursors[wid]]
+                        self._task_qs[wid].put(("task", batch_id, nxt, payloads[nxt]))
+                        cursors[wid] += 1
+                        pending[wid].append(nxt)
+                        outstanding += 1
+                    if not ok:
+                        raise SimPoolTaskError(index, result)
+                    yield index, result
         except SimPoolError:
             # Broken pool or failed task: the batch cannot complete
             # deterministically; tear the workers down so callers
@@ -309,14 +384,53 @@ class SimPool:
                     if plan[wid]:
                         self._task_qs[wid].put(("forget", batch_id))
 
-    def _check_alive(self) -> None:
-        """Raise :class:`SimPoolBrokenError` if any worker died."""
+    def _heal_dead_workers(
+        self,
+        batch_id: int,
+        fn: TaskFn,
+        shared: Any,
+        payloads: Sequence[Any],
+        pending: List[List[int]],
+    ) -> None:
+        """Replace dead workers within budget, else raise.
+
+        A replacement gets a *fresh* task queue (the dead process may
+        have half-consumed the old one, so its state is ambiguous), the
+        current batch's context header, and every task the dead worker
+        had been handed but never finished — in the original
+        submission order, so fingerprint runs stay contiguous and the
+        batch completes with the exact same result set.
+        """
         for wid, proc in enumerate(self._procs):
-            if not proc.is_alive():
+            if proc.is_alive():
+                continue
+            if self._restarts_by_worker[wid] >= self.max_restarts:
                 raise SimPoolBrokenError(
-                    f"pool worker {wid} died (exit code {proc.exitcode}); "
-                    "results for its tasks are lost"
+                    f"pool worker {wid} died (exit code {proc.exitcode}) "
+                    f"with its restart budget exhausted "
+                    f"({self.max_restarts} restarts); batch cannot complete"
                 )
+            self._restarts_by_worker[wid] += 1
+            self.worker_restarts += 1
+            old_q = self._task_qs[wid]
+            try:
+                old_q.close()
+                old_q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+            try:
+                self._result_readers[wid].close()
+            except OSError:
+                pass
+            task_q = self._ctx.Queue()
+            self._task_qs[wid] = task_q
+            self._procs[wid] = self._spawn(wid, task_q)
+            # Re-ship the batch context, then the unfinished tasks.  A
+            # task the dead worker completed-but-delivered races as a
+            # duplicate; _execute drops duplicates by index.
+            task_q.put(("shared", batch_id, fn, shared))
+            for index in pending[wid]:
+                task_q.put(("task", batch_id, index, payloads[index]))
 
     # ------------------------------------------------------------------
     def stream(

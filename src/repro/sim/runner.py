@@ -24,7 +24,7 @@ from repro.core.schemes import BASELINE, Scheme, by_name
 from repro.cpu.metrics import weighted_speedup
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
-from repro.sim.snapshot import default_warmup, warm_fingerprint
+from repro.sim.snapshot import resolve_fingerprint
 from repro.sim.system import System
 from repro.workloads.mixes import Workload, workload as lookup_workload
 
@@ -145,10 +145,7 @@ class ExperimentRunner:
         config = self.base_config.with_scheme(by_name(scheme_name)).with_policy(
             RowPolicy(policy_value)
         )
-        warmup = self.warmup_events_per_core
-        if warmup is None:
-            warmup = default_warmup(config, wl)
-        return warm_fingerprint(config, wl, self.seed, warmup)
+        return resolve_fingerprint(config, wl, self.seed, self.warmup_events_per_core)
 
     # ------------------------------------------------------------------
     def run(

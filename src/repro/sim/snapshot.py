@@ -162,6 +162,37 @@ def warm_fingerprint(
     )
 
 
+def resolve_fingerprint(
+    config: "SystemConfig",
+    workload: "Workload",
+    seed: int,
+    warmup_events_per_core: Optional[int] = None,
+) -> tuple:
+    """:func:`warm_fingerprint` with the default warmup resolved.
+
+    The sweep scheduler, the experiment runner and the sweep service
+    all group work by warm fingerprint before a :class:`System` exists;
+    this helper resolves ``warmup_events_per_core=None`` to the same
+    default the System will use, so every layer lands on the identical
+    grouping key.
+    """
+    if warmup_events_per_core is None:
+        warmup_events_per_core = default_warmup(config, workload)
+    return warm_fingerprint(config, workload, seed, warmup_events_per_core)
+
+
+def fingerprint_digest(key: tuple) -> str:
+    """Stable hex digest of a fingerprint key, identical across processes.
+
+    ``repr`` of the key is deterministic (plain ints/strings/floats/
+    frozen dataclasses; never ``hash()``, which varies per process under
+    hash randomization), so the digest is a valid cross-process cache
+    address.  Used for the snapshot disk layer's file names and as the
+    warm-affinity component of the sweep service's point digests.
+    """
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
 def capture_warm_state(
     hierarchy: "CacheHierarchy", with_digest: bool = False
 ) -> WarmSnapshot:
@@ -232,8 +263,7 @@ class SnapshotCache:
         ``repr`` of the key is deterministic across processes (plain
         ints/strings/floats/frozen dataclasses), unlike ``hash()``.
         """
-        digest = hashlib.sha256(repr(key).encode()).hexdigest()
-        return os.path.join(disk_dir, f"{digest}.warmsnap")
+        return os.path.join(disk_dir, f"{fingerprint_digest(key)}.warmsnap")
 
     # ------------------------------------------------------------------
     def lookup(

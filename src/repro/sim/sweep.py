@@ -57,7 +57,7 @@ if TYPE_CHECKING:
 from repro.controller.policies import RowPolicy
 from repro.core.schemes import by_name
 from repro.sim.config import SystemConfig
-from repro.sim.snapshot import default_warmup, warm_fingerprint
+from repro.sim.snapshot import resolve_fingerprint
 from repro.sim.system import simulate
 from repro.workloads.mixes import workload as lookup_workload
 
@@ -243,10 +243,7 @@ class Sweep:
         """
         config = _apply_point(self.base_config, point)
         workload = lookup_workload(point["workload"])
-        warmup = self.warmup
-        if warmup is None:
-            warmup = default_warmup(config, workload)
-        return warm_fingerprint(config, workload, self.seed, warmup)
+        return resolve_fingerprint(config, workload, self.seed, self.warmup)
 
     def run(
         self,

@@ -1,0 +1,12 @@
+"""Fixture: determinism-digest-canonical (non-canonical cache keys)."""
+# reprolint: digest
+
+import hashlib
+import json
+
+
+def bad_point_digest(point: dict) -> str:
+    """Both spellings of a digest that drifts between processes."""
+    salted = hash(tuple(sorted(point)))  # per-process salt (PEP 456)
+    payload = json.dumps({"point": point, "salt": salted})  # insertion order
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -23,9 +23,10 @@ guard = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(guard)
 
 
-def _snapshot(rates, fingerprint="fp-aaaa", engine="interpreted"):
+def _snapshot(rates, fingerprint="fp-aaaa", engine="interpreted",
+              rate_key="requests_per_second_best"):
     sections = {
-        name: {"requests_per_second_best_of_3": rate}
+        name: {rate_key: rate, "reps_used": 3}
         for name, rate in rates.items()
     }
     sections["_construction"] = {"cold_ms_best_of_3": 100.0}
@@ -63,6 +64,29 @@ def _run(tmp_path, snapshot, records, extra_args=()):
 def test_scheme_rates_skips_harness_sections():
     rates = guard.scheme_rates(_snapshot({"PRA": 9000, "BASELINE": 11000}))
     assert rates == {"PRA": 9000.0, "BASELINE": 11000.0}
+
+
+def test_scheme_rates_reads_legacy_key():
+    """Pre-rename history records (best_of_3 key) still grade."""
+    legacy = _snapshot(
+        {"PRA": 9000}, rate_key="requests_per_second_best_of_3"
+    )
+    assert guard.scheme_rates(legacy) == {"PRA": 9000.0}
+
+
+def test_legacy_baseline_grades_current_snapshot(tmp_path, capsys):
+    """A current-key snapshot is compared against a legacy-key record."""
+    legacy_record = {
+        "commit": "old",
+        "timestamp": "2026-08-01T00:00:00Z",
+        "exitstatus": 0,
+        "sections": _snapshot(
+            {"PRA": 10000}, rate_key="requests_per_second_best_of_3"
+        ),
+    }
+    code = _run(tmp_path, _snapshot({"PRA": 7000}), [legacy_record])
+    assert code == 1
+    assert "REGRESSION" in capsys.readouterr().out
 
 
 def test_find_baseline_matches_fingerprint_and_skips_current():

@@ -58,6 +58,17 @@ def _die(shared, payload):
     os._exit(3)
 
 
+def _die_once(shared, payload):
+    # Kill the hosting worker the first time each payload is seen
+    # (marker file = cross-process memory), succeed on resubmission.
+    marker = os.path.join(shared["dir"], f"died_{payload}")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("x")
+        os._exit(7)
+    return payload * 10
+
+
 def _echo(shared, payload):
     return (shared, payload)
 
@@ -157,7 +168,7 @@ class TestFailureModes:
         assert pool.closed
 
     def test_worker_death_raises_instead_of_hanging(self):
-        pool = SimPool(workers=2)
+        pool = SimPool(workers=2, max_restarts=0)
         with pytest.raises(SimPoolBrokenError, match="died"):
             pool.map(_die, [1, 2, 3, 4])
         assert pool.closed
@@ -173,6 +184,49 @@ class TestFailureModes:
         pool.close()
         pool.close()
         assert pool.closed
+
+
+# ----------------------------------------------------------------------
+class TestWorkerRestart:
+    def test_dead_worker_is_replaced_within_budget(self, tmp_path):
+        with SimPool(workers=1, max_restarts=1) as pool:
+            out = pool.map(_die_once, [5], shared={"dir": str(tmp_path)})
+            assert out == [50]
+            assert pool.worker_restarts == 1
+            assert not pool.closed
+            # The healed pool keeps serving later batches.
+            assert pool.map(_square, [4], shared={"scale": 1}) == [16]
+
+    def test_restart_resubmits_pending_and_preserves_order(self, tmp_path):
+        payloads = list(range(6))
+        # Every payload kills its worker once, so each 3-payload slot
+        # needs 3 replacements before the batch drains.
+        with SimPool(workers=2, max_inflight=2, max_restarts=3) as pool:
+            out = pool.map(_die_once, payloads, shared={"dir": str(tmp_path)})
+            assert out == [p * 10 for p in payloads]
+            assert pool.worker_restarts >= 1
+
+    def test_poison_task_exhausts_restart_budget(self):
+        pool = SimPool(workers=1, max_restarts=1)
+        with pytest.raises(SimPoolBrokenError, match="restart budget"):
+            pool.map(_die, [1])
+        assert pool.worker_restarts == 1
+        assert pool.closed
+
+    def test_stats_reports_lifetime_counters(self):
+        with SimPool(workers=2, max_restarts=3) as pool:
+            pool.map(_square, [1, 2], shared={"scale": 1})
+            stats = pool.stats()
+        assert stats == {
+            "workers": 2,
+            "tasks_done": 2,
+            "worker_restarts": 0,
+            "max_restarts": 3,
+        }
+
+    def test_negative_restart_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            SimPool(workers=1, max_restarts=-1)
 
 
 # ----------------------------------------------------------------------

@@ -27,6 +27,7 @@ FIXTURES = {
     "determinism-wallclock": "wallclock.py",
     "determinism-unordered-iter": "unordered_iter.py",
     "determinism-float-energy": "float_energy.py",
+    "determinism-digest-canonical": "digest_noncanonical.py",
     "oracle-twin-undeclared": "oracle_twin_undeclared.py",
     "oracle-test-missing": "oracle_test_missing.py",
     "hygiene-slots": "slots_missing.py",
